@@ -1,0 +1,224 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Not published figures — these quantify the *mechanisms* behind the
+paper's findings:
+
+1. **Hook overhead** — playback cost with and without the `_oecc`
+   monitor attached (the methodology's observability tax);
+2. **L1 vs L3 scan resistance** — the memory scan that is the heart of
+   CVE-2021-0639, on both storage models;
+3. **Key-policy blast radius** — how many assets one leaked key opens
+   under Minimum vs Recommended key usage (why Widevine recommends
+   distinct keys, Q3);
+4. **Revocation effectiveness** — attack success with revocation
+   enforced vs ignored (the Q4 trade-off).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.keyladder_attack import KeyLadderAttack
+from repro.core.monitor import DrmApiMonitor
+from repro.instrumentation.memscan import scan_for_keybox
+from repro.license_server.policy import (
+    AudioProtection,
+    RevocationPolicy,
+    ServicePolicy,
+    assign_track_crypto,
+)
+from repro.media.content import make_title
+from repro.ott.app import OttApp
+from repro.ott.registry import profile_by_name
+
+
+# -- 1. hook overhead ---------------------------------------------------------
+
+
+def test_bench_playback_unmonitored(benchmark, study):
+    profile = profile_by_name("OCS")
+    app = OttApp(profile, study.l1_device, study.backends[profile.service])
+    app.play()  # provision
+
+    result = benchmark.pedantic(app.play, rounds=3, iterations=1)
+    assert result.ok
+
+
+def test_bench_playback_monitored(benchmark, study):
+    profile = profile_by_name("OCS")
+    app = OttApp(profile, study.l1_device, study.backends[profile.service])
+    app.play()
+    monitor = DrmApiMonitor(study.l1_device)
+
+    def run():
+        with monitor.attached():
+            return app.play()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.ok
+
+
+# -- 2. scan resistance -------------------------------------------------------
+
+
+def test_bench_scan_l3_finds_keybox(benchmark, study):
+    matches = benchmark(scan_for_keybox, study.legacy_device.drm_process)
+    assert len(matches) == 1
+
+
+def test_bench_scan_l1_finds_nothing(benchmark, study):
+    matches = benchmark(scan_for_keybox, study.l1_device.drm_process)
+    assert matches == []
+
+
+# -- 3. key-policy blast radius ------------------------------------------------
+
+
+def _blast_radius(audio_protection: AudioProtection) -> tuple[int, int]:
+    """(#assets decryptable with the leaked qHD video key, #total
+    protected assets) for one title under a policy."""
+    policy = ServicePolicy(
+        service=f"blast-{audio_protection.value}",
+        audio_protection=audio_protection,
+        revocation=RevocationPolicy(),
+    )
+    title = make_title("blst00", "Blast radius")
+    assignment = assign_track_crypto(policy, title)
+    leaked_kid = assignment["v540"].key_id
+    protected = [a for a in assignment.values() if a.protected]
+    opened = [a for a in protected if a.key_id == leaked_kid]
+    return len(opened), len(protected)
+
+
+def test_blast_radius_minimum_vs_recommended(capsys):
+    shared_opened, shared_total = _blast_radius(AudioProtection.SHARED_KEY)
+    distinct_opened, distinct_total = _blast_radius(AudioProtection.DISTINCT_KEY)
+    with capsys.disabled():
+        print("\n=== Ablation: one leaked qHD key opens… ===")
+        print(
+            f"  Minimum (shared audio key):   {shared_opened}/{shared_total} "
+            "protected assets"
+        )
+        print(
+            f"  Recommended (distinct keys):  {distinct_opened}/{distinct_total} "
+            "protected assets"
+        )
+    # Minimum: the leaked video key also unlocks every audio language.
+    assert shared_opened == 3  # v540 + audio en + audio fr
+    # Recommended: it unlocks exactly the one representation.
+    assert distinct_opened == 1
+
+
+def test_bench_key_assignment(benchmark):
+    policy = ServicePolicy(
+        service="bench-assign",
+        audio_protection=AudioProtection.DISTINCT_KEY,
+        revocation=RevocationPolicy(),
+    )
+    title = make_title("bass00", "Assignment bench")
+    assignment = benchmark(assign_track_crypto, policy, title)
+    assert len(assignment) == len(title.representations)
+
+
+# -- 3b. why subscriber-shared keys: CDN storage economics -----------------------
+
+
+def test_per_account_keys_storage_cost(capsys):
+    """§IV-D observes every service shares content keys across all
+    subscribers. This ablation shows why: per-account keys force
+    per-account encrypted copies on the CDN — storage scales with the
+    subscriber count instead of the catalog size."""
+    from repro.dash.packager import Packager
+    from repro.net.cdn import CdnServer
+
+    def cdn_bytes(per_account: bool, accounts: int) -> int:
+        policy = ServicePolicy(
+            service=f"stor{int(per_account)}",
+            audio_protection=AudioProtection.SHARED_KEY,
+            revocation=RevocationPolicy(),
+            per_account_keys=per_account,
+        )
+        title = make_title("stor00", "Storage ablation")
+        cdn = CdnServer(f"cdn.stor{int(per_account)}.example")
+        if not per_account:
+            packager = Packager(policy.service, cdn)
+            packager.package(title, assign_track_crypto(policy, title))
+        else:
+            for index in range(accounts):
+                packager = Packager(policy.service, cdn)
+                packager.package(
+                    title,
+                    assign_track_crypto(policy, title, account=f"user{index}"),
+                    base_path=f"/{policy.service}/user{index}/{title.title_id}",
+                )
+        return sum(len(blob) for blob in cdn._blobs.values())
+
+    accounts = 3
+    shared = cdn_bytes(per_account=False, accounts=accounts)
+    per_account = cdn_bytes(per_account=True, accounts=accounts)
+    with capsys.disabled():
+        print("\n=== Ablation: CDN storage, shared vs per-account keys ===")
+        print(f"  shared keys (any number of subscribers): {shared:>9d} bytes")
+        print(f"  per-account keys ({accounts} subscribers):        {per_account:>9d} bytes")
+        print(f"  ratio: {per_account / shared:.2f}x — scales with subscribers")
+    assert per_account >= accounts * shared * 0.95
+
+
+# -- 4. client-level verification (the netflix-1080p knob) -----------------------
+
+
+def test_client_level_verification_gates_hd(capsys):
+    """§V-C adapted: with server-side verification of the claimed
+    security level, HD forgery from a broken L3 device fails; without
+    it, both HD keys leak."""
+    from repro.android.device import nexus_5
+    from repro.core.hd_forgery import HdForgeryAttack
+    from repro.license_server.provisioning import KeyboxAuthority
+    from repro.net.network import Network
+    from repro.ott.backend import OttBackend
+    from repro.ott.profile import OttProfile
+
+    outcomes = {}
+    for verifies in (True, False):
+        profile = OttProfile(
+            name="Knob",
+            service=f"knob{int(verifies)}",
+            package="com.knob.app",
+            installs_millions=1,
+            audio_protection=AudioProtection.SHARED_KEY,
+            enforces_revocation=False,
+            verifies_client_level=verifies,
+        )
+        network = Network()
+        authority = KeyboxAuthority()
+        backend = OttBackend(profile, network, authority)
+        device = nexus_5(network, authority)
+        device.rooted = True
+        app = OttApp(profile, device, backend)
+        result = HdForgeryAttack(device, network).run(app)
+        outcomes[verifies] = len(result.hd_key_ids)
+    with capsys.disabled():
+        print("\n=== Ablation: HD keys leaked to an L3 forger claiming L1 ===")
+        print(f"  server verifies client level:   {outcomes[True]} HD keys")
+        print(f"  server trusts the claim:        {outcomes[False]} HD keys")
+    assert outcomes[True] == 0
+    assert outcomes[False] == 2
+
+
+# -- 5. revocation effectiveness -------------------------------------------------
+
+
+def test_revocation_stops_the_attack(study, capsys):
+    """Attack success on the discontinued device, per revocation stance."""
+    outcomes = {}
+    for name in ("Showtime", "Disney+"):
+        profile = profile_by_name(name)
+        app = OttApp(profile, study.legacy_device, study.backends[profile.service])
+        result = KeyLadderAttack(study.legacy_device).run(app)
+        outcomes[name] = result.succeeded
+    with capsys.disabled():
+        print("\n=== Ablation: revocation vs the key-ladder attack ===")
+        print(f"  revocation ignored  (Showtime): attack succeeded = {outcomes['Showtime']}")
+        print(f"  revocation enforced (Disney+):  attack succeeded = {outcomes['Disney+']}")
+    assert outcomes["Showtime"] is True
+    assert outcomes["Disney+"] is False

@@ -1,0 +1,104 @@
+"""Crypto substrate micro-benchmarks.
+
+Not a paper artefact — these quantify the simulation's own primitives
+(pure-Python AES/CMAC/RSA/CENC) so regressions in the substrate are
+visible independently of the pipeline benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bmff.cenc import decrypt_sample, encrypt_sample
+from repro.crypto.aes import AES
+from repro.crypto.cmac import aes_cmac
+from repro.crypto.kdf import derive_session_keys
+from repro.crypto.modes import cbc_encrypt, ctr_transform
+from repro.crypto.rng import HmacDrbg
+from repro.crypto.rsa import generate_keypair, oaep_decrypt, oaep_encrypt, pss_sign
+
+_KEY = bytes(range(16))
+_IV = bytes(range(16))
+
+
+def test_bench_aes_block(benchmark):
+    cipher = AES(_KEY)
+    block = bytes(16)
+    out = benchmark(cipher.encrypt_block, block)
+    assert len(out) == 16
+
+
+def test_bench_ctr_4kb(benchmark):
+    data = bytes(4096)
+    out = benchmark(ctr_transform, _KEY, _IV, data)
+    assert len(out) == 4096
+
+
+def test_bench_cbc_4kb(benchmark):
+    data = bytes(4096)
+    out = benchmark(cbc_encrypt, _KEY, _IV, data)
+    assert len(out) == 4112
+
+
+def test_bench_cmac_1kb(benchmark):
+    data = bytes(1024)
+    tag = benchmark(aes_cmac, _KEY, data)
+    assert len(tag) == 16
+
+
+def test_bench_session_key_derivation(benchmark):
+    keys = benchmark(derive_session_keys, _KEY, b"license-request-context")
+    assert len(keys.encryption) == 16
+
+
+def test_bench_hmac_drbg(benchmark):
+    rng = HmacDrbg(b"bench")
+    out = benchmark(rng.generate, 1024)
+    assert len(out) == 1024
+
+
+def test_bench_cenc_sample_encrypt(benchmark):
+    sample = bytes(2048)
+    enc = benchmark(encrypt_sample, sample, _KEY, bytes(8), clear_header=64)
+    assert len(enc.data) == 2048
+
+
+def test_bench_cenc_sample_decrypt(benchmark):
+    enc = encrypt_sample(bytes(2048), _KEY, bytes(8), clear_header=64)
+    out = benchmark(decrypt_sample, enc, _KEY)
+    assert out == bytes(2048)
+
+
+@pytest.fixture(scope="module")
+def rsa2048():
+    return generate_keypair(2048, label="bench-rsa")
+
+
+def test_bench_rsa_oaep_encrypt(benchmark, rsa2048):
+    ct = benchmark(oaep_encrypt, rsa2048.public, bytes(16))
+    assert len(ct) == 256
+
+
+def test_bench_rsa_oaep_decrypt(benchmark, rsa2048):
+    ct = oaep_encrypt(rsa2048.public, bytes(16))
+    out = benchmark(oaep_decrypt, rsa2048, ct)
+    assert out == bytes(16)
+
+
+def test_bench_rsa_pss_sign(benchmark, rsa2048):
+    sig = benchmark(pss_sign, rsa2048, b"license request payload")
+    assert len(sig) == 256
+
+
+def test_bench_rsa_keygen_1024(benchmark):
+    from repro.crypto.rng import derive_rng
+
+    counter = iter(range(10**6))
+
+    def gen():
+        return generate_keypair(
+            1024, rng=derive_rng(f"bench-keygen-{next(counter)}")
+        )
+
+    key = benchmark.pedantic(gen, rounds=3, iterations=1)
+    assert key.n.bit_length() == 1024

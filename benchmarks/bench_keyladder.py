@@ -1,0 +1,147 @@
+"""§IV-D practical impact — the key-ladder attack and media recovery.
+
+Regenerates the in-text results: DRM-free content recovered from the
+six apps that keep serving discontinued devices (all except Amazon and
+the three revoking services), best quality capped at 960x540 (qHD),
+keys identical for all subscribers. Benchmarks each attack stage:
+memory scan, RSA recovery, offline license unwrap, CENC decryption.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.keyladder_attack import KeyLadderAttack
+from repro.core.media_recovery import MediaRecoveryPipeline
+from repro.core.study import WideLeakStudy
+from repro.instrumentation.memscan import scan_for_keybox
+from repro.ott.app import OttApp
+from repro.ott.registry import profile_by_name
+
+SIX_BROKEN = {"Netflix", "Hulu", "myCanal", "Showtime", "OCS", "Salto"}
+
+
+def test_practical_impact_reproduced(study, capsys):
+    """The §IV-D table-in-prose: who breaks, who resists, at what quality."""
+    results = study.run_all_attacks()
+    with capsys.disabled():
+        print("\n=== §IV-D practical impact (regenerated) ===")
+        header = f"{'OTT':22s} {'keybox':7s} {'RSA':5s} {'keys':5s} {'DRM-free':9s} {'best':6s}"
+        print(header)
+        print("-" * len(header))
+        for name, outcome in results.items():
+            attack, recovered = outcome.attack, outcome.recovered
+            best = recovered.best_video_height if recovered else None
+            print(
+                f"{name:22s} {str(attack.keybox_recovered):7s} "
+                f"{str(attack.rsa_recovered):5s} {len(attack.content_keys):<5d} "
+                f"{str(bool(recovered and recovered.succeeded)):9s} "
+                f"{str(best):6s}"
+            )
+    broken = {
+        name
+        for name, outcome in results.items()
+        if outcome.recovered is not None and outcome.recovered.succeeded
+    }
+    assert broken == SIX_BROKEN
+    for name in SIX_BROKEN:
+        assert results[name].recovered.best_video_height == 540  # qHD
+
+
+def test_bench_keybox_memory_scan(benchmark, study):
+    """Stage 1: structural keybox scan over the DRM process memory."""
+    device = study.legacy_device
+    matches = benchmark(scan_for_keybox, device.drm_process)
+    assert len(matches) == 1
+
+
+def test_bench_keybox_recovery(benchmark, study):
+    """Stage 1 complete: scan + whitebox mask inversion."""
+    attack = KeyLadderAttack(study.legacy_device)
+    keybox = benchmark(attack.recover_keybox)
+    assert keybox is not None
+    assert keybox.device_key == study.legacy_device.keybox.device_key
+
+
+def test_bench_full_attack_pipeline(benchmark, study):
+    """All three stages plus triggering playback, for one app."""
+    profile = profile_by_name("Showtime")
+    backend = study.backends[profile.service]
+
+    def run():
+        app = OttApp(profile, study.legacy_device, backend)
+        return KeyLadderAttack(study.legacy_device).run(app)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.succeeded
+
+
+def test_bench_offline_license_harvest(benchmark, study):
+    """Unwrapping every persisted offline license after a keybox break."""
+    from repro.android.mediadrm import KEY_TYPE_OFFLINE, MediaDrm
+    from repro.bmff.builder import read_pssh_boxes
+    from repro.bmff.pssh import WIDEVINE_SYSTEM_ID
+
+    profile = profile_by_name("OCS")
+    backend = study.backends[profile.service]
+    device = study.legacy_device
+    drm = MediaDrm(WIDEVINE_SYSTEM_ID, device, origin=profile.package)
+    client = device.new_http_client()
+    request = drm.get_provision_request()
+    response = client.post(
+        f"https://{profile.provisioning_host}/provision", request.data
+    )
+    drm.provide_provision_response(response.body)
+    packaged = backend.packaged[next(iter(backend.catalog)).title_id]
+    init_url, _ = packaged.asset_urls["v540"]
+    (pssh,) = read_pssh_boxes(client.get(init_url).body)
+    session = drm.open_session()
+    key_request = drm.get_key_request(session, pssh.data, key_type=KEY_TYPE_OFFLINE)
+    license_response = client.post(
+        f"https://{profile.license_host}/license", key_request.data
+    )
+    drm.provide_key_response(session, license_response.body)
+
+    attack = KeyLadderAttack(device)
+    keybox = attack.recover_keybox()
+    rsa = attack.recover_device_rsa_key(keybox, profile.package)
+
+    harvested = benchmark(attack.harvest_offline_licenses, rsa, profile.package)
+    assert harvested
+
+
+def test_bench_hd_forgery(benchmark, study):
+    """The §V-C forgery attempt (strict service: rejected, still timed)."""
+    from repro.core.hd_forgery import HdForgeryAttack
+    from repro.ott.app import OttApp as _OttApp
+
+    profile = profile_by_name("Salto")
+    backend = study.backends[profile.service]
+
+    def run():
+        app = _OttApp(profile, study.legacy_device, backend)
+        return HdForgeryAttack(study.legacy_device, study.network).run(app)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert not result.succeeded  # all Table I services verify the claim
+
+
+def test_bench_media_recovery(benchmark, study):
+    """CENC decryption + reconstruction of a whole title."""
+    profile = profile_by_name("Showtime")
+    backend = study.backends[profile.service]
+    app = OttApp(profile, study.legacy_device, backend)
+    attack = KeyLadderAttack(study.legacy_device).run(app)
+    assert attack.succeeded
+    title_id = next(iter(backend.catalog)).title_id
+    packaged = backend.packaged[title_id]
+    mpd_url = f"https://{profile.cdn_host}{packaged.mpd_path}"
+    pipeline = MediaRecoveryPipeline(study.network)
+
+    recovered = benchmark.pedantic(
+        lambda: pipeline.recover(profile.service, mpd_url, attack.content_keys),
+        rounds=3,
+        iterations=1,
+    )
+    assert recovered.succeeded
+    assert recovered.best_video_height == 540

@@ -1,0 +1,56 @@
+"""Table I — Widevine usage and asset protections by OTTs.
+
+Regenerates the paper's only table by running the full four-question
+pipeline over all ten apps, prints it next to the published table, and
+asserts a cell-for-cell match. Per-app audit latency is benchmarked on
+a representative subset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import EXPECTED_PAPER_TABLE, TableOne
+from repro.core.study import WideLeakStudy
+from repro.ott.registry import ALL_PROFILES, profile_by_name
+
+
+def test_table1_regenerates_exactly(study, capsys):
+    """The headline artefact: measured Table I == published Table I."""
+    result = study.run()
+    with capsys.disabled():
+        print("\n=== Table I (regenerated from the pipeline) ===")
+        print(result.table.render())
+        print("\n=== Table I (published) ===")
+        expected = TableOne(rows=list(EXPECTED_PAPER_TABLE.values()))
+        print(expected.render())
+        diffs = result.table.diff_against_paper()
+        print(f"\ncell differences vs paper: {diffs if diffs else 'none'}")
+    assert result.table.matches_paper
+
+
+@pytest.mark.parametrize(
+    "app_name", ["Netflix", "Disney+", "Amazon Prime Video", "Hulu"]
+)
+def test_bench_single_app_study(benchmark, app_name):
+    """Latency of the full Q1–Q4 pipeline for one app."""
+    study = WideLeakStudy.with_default_apps()
+    profile = profile_by_name(app_name)
+
+    def run():
+        return study.study_app(profile)
+
+    app_result = benchmark.pedantic(run, rounds=3, iterations=1)
+    expected = EXPECTED_PAPER_TABLE[app_name]
+    row = WideLeakStudy._to_row(app_result)
+    assert row == expected
+
+
+def test_bench_full_table(benchmark):
+    """End-to-end cost of regenerating the whole table."""
+    def run():
+        return WideLeakStudy.with_default_apps().run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.table.rows) == len(ALL_PROFILES)
+    assert result.table.matches_paper

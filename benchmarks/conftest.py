@@ -1,0 +1,18 @@
+"""Shared benchmark fixtures.
+
+The benchmarks double as the reproduction harness: each bench module
+regenerates one of the paper's artefacts (Table I, Figure 1, the §IV-D
+practical-impact results) and *asserts* the reproduced shape against
+the published values while timing the pipeline that produced it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.study import WideLeakStudy
+
+
+@pytest.fixture(scope="session")
+def study() -> WideLeakStudy:
+    return WideLeakStudy.with_default_apps()

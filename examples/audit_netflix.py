@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Deep-dive audit of one app: Netflix.
+
+Walks the full §IV-B methodology against the Netflix model:
+
+1. static analysis of the decompiled APK;
+2. monitored playback with the ``_oecc`` hooks installed;
+3. SSL-repinning + interception to recover asset URIs — including the
+   manifest that Netflix ships only through the Widevine non-DASH
+   secure channel;
+4. account-less downloads and player probes per track;
+5. key-usage classification.
+
+    python examples/audit_netflix.py
+"""
+
+from repro.core.content_audit import ContentAuditor
+from repro.core.key_usage import KeyUsageAnalyzer
+from repro.core.static_analysis import analyze_apk
+from repro.core.study import WideLeakStudy
+from repro.ott.app import OttApp
+from repro.ott.registry import profile_by_name
+
+
+def main() -> None:
+    study = WideLeakStudy.with_default_apps()
+    profile = profile_by_name("Netflix")
+    backend = study.backends[profile.service]
+    app = OttApp(profile, study.l1_device, backend)
+
+    print(f"=== {profile.name} ({profile.installs_millions}M+ installs) ===\n")
+
+    print("--- 1. Static analysis of the APK ---")
+    static = analyze_apk(app.apk)
+    print(f"  uses MediaDrm:    {static.uses_media_drm}")
+    print(f"  uses MediaCrypto: {static.uses_media_crypto}")
+    print(f"  uses ExoPlayer:   {static.uses_exoplayer}  (Netflix ships its own player)")
+    for cls, ref in static.drm_call_sites[:4]:
+        print(f"    call site: {cls} -> {ref}")
+
+    print("\n--- 2–4. Monitored, intercepted playback + downloads ---")
+    audit = ContentAuditor(study.l1_device, study.network).audit(app)
+    observation = audit.observation
+    print(f"  playback ok:          {audit.playback.ok}")
+    print(f"  Widevine used:        {observation.widevine_used}")
+    print(f"  security level:       {observation.security_level}")
+    print(f"  _oecc calls observed: {observation.oecc_call_count}")
+    print(
+        "  manifest URI recovered from generic-decrypt output: "
+        f"{audit.secure_channel_manifest_recovered}"
+    )
+    print(f"  manifest URL: {audit.mpd_url}")
+
+    print("\n  Per-track protection status (account-less downloads):")
+    for track in audit.tracks:
+        extra = ""
+        if track.height:
+            extra = f" {track.height}p"
+        if track.language:
+            extra += f" [{track.language}]"
+        print(f"    {track.kind:6s} {track.rep_id:6s}{extra:12s} -> {track.status.value}")
+    print(f"\n  Aggregate: video={audit.status_for('video').value}, "
+          f"audio={audit.status_for('audio').value}, "
+          f"subtitles={audit.status_for('text').value}")
+    print("  >>> Netflix delivers audio and subtitles in clear — the paper's")
+    print("  >>> headline Q2 finding, confirmed via responsible disclosure.")
+
+    print("\n--- 5. Key usage (Q3) ---")
+    usage = KeyUsageAnalyzer().analyze(app, audit.mpd_bytes)
+    print(f"  classification: {usage.classification.value if usage.classification else '-'}")
+    print(f"  audio in clear: {usage.audio_clear}")
+    print(
+        "  video keys distinct per resolution: "
+        f"{usage.video_keys_distinct_per_resolution}"
+    )
+    for rep_id, kid in sorted(usage.video_kids.items()):
+        print(f"    {rep_id}: kid={kid.hex()[:16]}…")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The §IV-D proof of concept: break a discontinued L3 device.
+
+Reproduces CVE-2021-0639 end to end on the simulated Nexus 5
+(Android 6.0.1, Widevine L3, CDM 3.1.0, last update 2016):
+
+1. scan the DRM process's memory for the keybox structure and invert
+   the whitebox mask  →  the 128-bit AES **device key** (the RoT);
+2. decrypt the provisioned **device RSA key** from persistent storage
+   (its storage key derives from the device key);
+3. capture a license at the ``_oecc`` boundary and replay the key
+   ladder offline  →  the **content keys**;
+4. download the title with no account, CENC-decrypt it, and play the
+   reconstruction — capped, as in the paper, at 960x540 (qHD).
+
+    python examples/break_legacy_device.py [service]
+"""
+
+import sys
+
+from repro.core.keyladder_attack import KeyLadderAttack
+from repro.core.media_recovery import MediaRecoveryPipeline
+from repro.core.study import WideLeakStudy
+from repro.media.player import probe_track
+from repro.ott.app import OttApp
+from repro.ott.registry import ALL_PROFILES, profile_by_name
+
+
+def main() -> None:
+    target = sys.argv[1] if len(sys.argv) > 1 else "Showtime"
+    study = WideLeakStudy.with_default_apps()
+    device = study.legacy_device
+    profile = profile_by_name(target)
+    backend = study.backends[profile.service]
+
+    print(f"Target device: {device.spec.model}, Android "
+          f"{device.spec.android_version}, Widevine "
+          f"{device.widevine_security_level}, CDM {device.spec.cdm_version}, "
+          f"last security update {device.spec.security_patch}")
+    print(f"Target app:    {profile.name}\n")
+
+    attack = KeyLadderAttack(device)
+
+    print("--- Step 1: keybox recovery (CWE-922 / CVE-2021-0639) ---")
+    keybox = attack.recover_keybox()
+    if keybox is None:
+        print("  keybox not found — is this an L1 device?")
+        return
+    print(f"  device id:  {keybox.device_id.hex()[:24]}…")
+    print(f"  device key: {keybox.device_key.hex()}  (the root of trust)")
+    matches_truth = keybox.device_key == device.keybox.device_key
+    print(f"  matches factory ground truth: {matches_truth}")
+
+    print("\n--- Steps 2–3: trigger playback, capture the license, walk the ladder ---")
+    app = OttApp(profile, device, backend)
+    result = attack.run(app)
+    print(f"  playback delivered content: {result.playback.ok}")
+    print(f"  licenses captured at the _oecc boundary: {result.licenses_observed}")
+    print(f"  device RSA key recovered: {result.rsa_recovered}")
+    print(f"  content keys recovered:   {len(result.content_keys)}")
+    for kid, key in result.content_keys.items():
+        print(f"    kid={kid.hex()[:16]}…  key={key.hex()}")
+    if not result.succeeded:
+        print(f"  attack failed: {result.notes}")
+        return
+
+    print("\n--- Step 4: DRM-free reconstruction (no account) ---")
+    title_id = next(iter(backend.catalog)).title_id
+    packaged = backend.packaged[title_id]
+    mpd_url = f"https://{profile.cdn_host}{packaged.mpd_path}"
+    recovered = MediaRecoveryPipeline(study.network).recover(
+        profile.service, mpd_url, result.content_keys
+    )
+    for track in recovered.tracks:
+        detail = f"{track.height}p" if track.height else (track.language or "")
+        status = "PLAYABLE" if track.playable else f"not recovered ({track.note})"
+        print(f"  {track.kind:6s} {track.rep_id:6s} {detail:6s} -> {status}")
+    print(f"\n  best DRM-free quality: {recovered.best_video_height}p "
+          "(qHD — HD keys are never issued to L3)")
+
+    # "play it on another device (i.e., personal computer)"
+    video = next(t for t in recovered.tracks if t.kind == "video" and t.playable)
+    probe = probe_track(video.clear_init, video.clear_segments)
+    print(f"  reference player verdict on the reconstruction: {probe.status.value}")
+
+
+if __name__ == "__main__":
+    main()

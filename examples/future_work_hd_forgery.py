@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""§V-C future work, implemented: HD keys from an L3-only device.
+
+"The Github project netflix-1080p explains how to get HD quality on L3
+by just modifying the profiles to be sent to the CDN … An interesting
+future work is to adapt this exploit to Android in order to get the
+license keys of HD contents without breaking into the Widevine L1."
+
+The adaptation: once the §IV-D key ladder yields the device RSA key,
+the attacker forges license requests *claiming* L1 and signs them with
+the stolen key. A license server that cross-checks the claim against
+its provisioning records stops this cold; one that trusts the client
+(the netflix-1080p situation) hands over the 720p/1080p keys — and the
+qHD ceiling of the original PoC disappears.
+
+    python examples/future_work_hd_forgery.py
+"""
+
+from repro.android.device import nexus_5
+from repro.core.hd_forgery import HdForgeryAttack
+from repro.core.media_recovery import MediaRecoveryPipeline
+from repro.license_server.policy import AudioProtection
+from repro.license_server.provisioning import KeyboxAuthority
+from repro.net.network import Network
+from repro.ott.app import OttApp
+from repro.ott.backend import OttBackend
+from repro.ott.profile import OttProfile
+
+
+def _attempt(verifies_client_level: bool) -> None:
+    profile = OttProfile(
+        name="DemoFlix",
+        service=f"demo{int(verifies_client_level)}",
+        package="com.demoflix.app",
+        installs_millions=1,
+        audio_protection=AudioProtection.SHARED_KEY,
+        enforces_revocation=False,
+        verifies_client_level=verifies_client_level,
+    )
+    network = Network()
+    authority = KeyboxAuthority()
+    backend = OttBackend(profile, network, authority)
+    device = nexus_5(network, authority)
+    device.rooted = True
+    app = OttApp(profile, device, backend)
+
+    stance = "verifies" if verifies_client_level else "TRUSTS"
+    print(f"--- license server {stance} the claimed security level ---")
+    result = HdForgeryAttack(device, network).run(app)
+    print(f"  forged L1 request accepted: {result.request_accepted}")
+    if result.server_error:
+        print(f"  server said: {result.server_error}")
+    print(f"  HD keys obtained: {len(result.hd_key_ids)}")
+
+    if result.succeeded:
+        title_id = next(iter(backend.catalog)).title_id
+        packaged = backend.packaged[title_id]
+        mpd_url = f"https://{profile.cdn_host}{packaged.mpd_path}"
+        recovered = MediaRecoveryPipeline(network).recover(
+            profile.service, mpd_url, result.content_keys
+        )
+        print(
+            f"  DRM-free recovery from the L3 device: best "
+            f"{recovered.best_video_height}p (the qHD ceiling is gone)"
+        )
+    print()
+
+
+def main() -> None:
+    _attempt(verifies_client_level=True)
+    _attempt(verifies_client_level=False)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Quickstart: run the WideLeak study and regenerate Table I.
+
+Builds the whole simulated world — ten OTT services, a current L1
+device, a discontinued Nexus 5 — runs the four research questions per
+app, and prints the resulting table next to the published one.
+
+    python examples/quickstart.py
+"""
+
+from repro import WideLeakStudy
+from repro.core.report import EXPECTED_PAPER_TABLE, TableOne
+
+
+def main() -> None:
+    print("Building the study world (10 services, 2 devices)…")
+    study = WideLeakStudy.with_default_apps()
+
+    print("Running Q1–Q4 for every app…\n")
+    result = study.run()
+
+    print("=== Table I, regenerated from measurements ===")
+    print(result.table.render())
+
+    print("\n=== Table I, as published (DSN 2022) ===")
+    print(TableOne(rows=list(EXPECTED_PAPER_TABLE.values())).render())
+
+    diffs = result.table.diff_against_paper()
+    if diffs:
+        print("\nDifferences from the paper:")
+        for diff in diffs:
+            print(f"  - {diff}")
+    else:
+        print("\nCell-for-cell match with the published table.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""WideLeak reproduction: how over-the-top platforms fail in Android.
+
+A full simulation-based reproduction of the DSN 2022 study by Patat,
+Sabt and Fouque. The package provides:
+
+- the study methodology itself (:mod:`repro.core`): DRM API monitoring,
+  content-protection auditing, key-usage analysis, legacy-device
+  probing, and the key-ladder attack of §IV-D (CVE-2021-0639);
+- every substrate the study runs on, built from scratch: crypto
+  primitives, ISO-BMFF/CENC, DASH, a network stack with TLS pinning and
+  an intercepting proxy, license/provisioning servers, an Android DRM
+  stack (MediaDrm / MediaCrypto / MediaCodec / HAL), a Widevine-like
+  CDM with L1/L3 backends, Frida-like instrumentation, and ten OTT app
+  models.
+
+Quickstart::
+
+    from repro import WideLeakStudy
+    study = WideLeakStudy.with_default_apps()
+    table = study.run()
+    print(table.render())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["WideLeakStudy", "TableOne", "__version__"]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep substrate packages importable on their own and
+    # avoid paying the full dependency graph for `import repro`.
+    if name == "WideLeakStudy":
+        from repro.core.study import WideLeakStudy
+
+        return WideLeakStudy
+    if name == "TableOne":
+        from repro.core.report import TableOne
+
+        return TableOne
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

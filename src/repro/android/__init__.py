@@ -1,0 +1,67 @@
+"""Simulated Android substrate: devices, processes, the Media DRM
+framework (MediaDrm / MediaCrypto / MediaCodec / HAL), SafetyNet and an
+APK model for static analysis."""
+
+from repro.android.device import (
+    AndroidDevice,
+    DeviceSpec,
+    galaxy_s7,
+    nexus_5,
+    pixel_6,
+)
+from repro.android.drm_server import MediaDrmServer
+from repro.android.mediacodec import (
+    CodecException,
+    CryptoInfo,
+    DecodedFrame,
+    MediaCodec,
+)
+from repro.android.mediacrypto import MediaCrypto, MediaCryptoException
+from repro.android.mediadrm import (
+    KEY_TYPE_OFFLINE,
+    KEY_TYPE_STREAMING,
+    DeniedByServerException,
+    KeyRequest,
+    MediaDrm,
+    MediaDrmException,
+    NotProvisionedException,
+    ProvisionRequestData,
+    UnsupportedSchemeException,
+)
+from repro.android.packages import Apk, ApkClass, decompile
+from repro.android.process import MemoryRegion, Process
+from repro.android.safetynet import SafetyNetResult, attest
+from repro.android.trace import FlowEvent, FlowTrace
+
+__all__ = [
+    "AndroidDevice",
+    "DeviceSpec",
+    "galaxy_s7",
+    "nexus_5",
+    "pixel_6",
+    "MediaDrmServer",
+    "CodecException",
+    "CryptoInfo",
+    "DecodedFrame",
+    "MediaCodec",
+    "MediaCrypto",
+    "MediaCryptoException",
+    "KEY_TYPE_OFFLINE",
+    "KEY_TYPE_STREAMING",
+    "DeniedByServerException",
+    "KeyRequest",
+    "MediaDrm",
+    "MediaDrmException",
+    "NotProvisionedException",
+    "ProvisionRequestData",
+    "UnsupportedSchemeException",
+    "Apk",
+    "ApkClass",
+    "decompile",
+    "MemoryRegion",
+    "Process",
+    "SafetyNetResult",
+    "attest",
+    "FlowEvent",
+    "FlowTrace",
+]

@@ -1,0 +1,29 @@
+"""Simulated monotonic device clock.
+
+License policies are time-bounded in real Widevine (licenses carry a
+duration; the CDM refuses to decrypt once it lapses). The simulation
+keeps a per-device clock that tests and experiments advance explicitly,
+so expiry behaviour is deterministic.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A manually-advanced clock (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("clocks only move forward")
+        self._now += seconds
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={self._now})"

@@ -1,0 +1,41 @@
+"""The Media DRM Server HAL (``mediadrmserver`` / ``mediaserver``).
+
+§II-B: "Starting from API level 18, this is implemented by some HAL
+module called Media DRM Server that abstracts the actual running DRM
+from the programming interface used by OTT apps." Plugins register by
+DRM system UUID; :class:`repro.android.mediadrm.MediaDrm` resolves
+through here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.android.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.widevine.plugin import WidevineHalPlugin
+
+__all__ = ["MediaDrmServer"]
+
+
+class MediaDrmServer:
+    """UUID → plugin registry hosted by the DRM process."""
+
+    def __init__(self, process: Process):
+        self.process = process
+        self._plugins: dict[bytes, "WidevineHalPlugin"] = {}
+
+    def register_plugin(self, plugin: "WidevineHalPlugin") -> None:
+        if plugin.uuid in self._plugins:
+            raise ValueError(f"plugin already registered for {plugin.uuid.hex()}")
+        self._plugins[plugin.uuid] = plugin
+
+    def is_scheme_supported(self, uuid: bytes) -> bool:
+        return uuid in self._plugins
+
+    def plugin(self, uuid: bytes) -> "WidevineHalPlugin":
+        try:
+            return self._plugins[uuid]
+        except KeyError:
+            raise LookupError(f"no DRM plugin for uuid {uuid.hex()}") from None

@@ -1,0 +1,44 @@
+"""The Android ``MediaCrypto`` API.
+
+A MediaCrypto object binds a MediaDrm session to a MediaCodec: the
+codec's secure input path decrypts through it, and — the property that
+defeats MovieStealer (§II-B) — the application never receives the
+decrypted buffers.
+"""
+
+from __future__ import annotations
+
+from repro.android.device import AndroidDevice
+from repro.android.mediadrm import MediaDrm, MediaDrmException
+
+__all__ = ["MediaCrypto", "MediaCryptoException"]
+
+
+class MediaCryptoException(MediaDrmException):
+    pass
+
+
+class MediaCrypto:
+    """Decryption handle bound to one open MediaDrm session."""
+
+    def __init__(self, media_drm: MediaDrm, session_id: bytes):
+        if session_id not in media_drm._open_sessions:
+            raise MediaCryptoException("session is not open")
+        self.media_drm = media_drm
+        self.session_id = session_id
+        self.device: AndroidDevice = media_drm.device
+
+    def requires_secure_decoder_component(self, mime_type: str) -> bool:
+        """True on L1, where output buffers stay in secure memory."""
+        return self.media_drm.get_property_string("securityLevel") == "L1"
+
+    def set_media_drm_session(self, session_id: bytes) -> None:
+        if session_id not in self.media_drm._open_sessions:
+            raise MediaCryptoException("session is not open")
+        self.session_id = session_id
+
+    def _decrypt(self, key_id, data, iv, subsamples, mode="cenc"):
+        """Internal: only MediaCodec calls this."""
+        return self.media_drm._cdm.decrypt(
+            self.session_id, key_id, data, iv, subsamples, mode=mode
+        )

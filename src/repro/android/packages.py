@@ -1,0 +1,44 @@
+"""APK model: what static analysis sees of an installed app.
+
+The study's first methodology prong "decompile[s] the Java classes of
+the evaluated OTT apps to identify some of the included Android
+classes ... all calls to MediaDrm and MediaCrypto methods". The model
+keeps exactly that observable: packages expose a class list with method
+references, possibly including dead code — which is why the paper backs
+static findings with dynamic monitoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ApkClass", "Apk", "decompile"]
+
+
+@dataclass(frozen=True)
+class ApkClass:
+    """One decompiled class: fully-qualified name plus referenced methods."""
+
+    name: str
+    method_refs: tuple[str, ...] = ()
+
+
+@dataclass
+class Apk:
+    """An installed application package."""
+
+    package: str
+    version: str
+    classes: list[ApkClass] = field(default_factory=list)
+    uses_exoplayer: bool = False
+    pinned_hosts: tuple[str, ...] = ()
+    anti_debug: bool = False
+    checks_safetynet: bool = False
+
+    def add_class(self, name: str, method_refs: tuple[str, ...] = ()) -> None:
+        self.classes.append(ApkClass(name=name, method_refs=method_refs))
+
+
+def decompile(apk: Apk) -> list[ApkClass]:
+    """'Decompile' the APK — returns its class list for scanning."""
+    return list(apk.classes)

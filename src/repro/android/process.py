@@ -1,0 +1,87 @@
+"""Process and memory model.
+
+The attack surface of §IV-D is *process memory*: on L3 the Widevine
+keybox lives (obfuscated) inside the DRM process's address space, where
+a Frida memory scan finds it; on L1 it lives in the TEE, outside any
+scannable region. This module models exactly that observable: processes
+own named memory regions that instrumentation can enumerate and read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MemoryRegion", "Process"]
+
+
+@dataclass
+class MemoryRegion:
+    """One mapped region of a process.
+
+    ``readable`` mirrors what an attached debugger may read; TEE-backed
+    secrets are simply never placed in any region.
+    """
+
+    name: str
+    data: bytearray
+    readable: bool = True
+
+    def write(self, offset: int, blob: bytes) -> None:
+        if offset < 0 or offset + len(blob) > len(self.data):
+            raise ValueError(
+                f"write [{offset}, {offset + len(blob)}) outside region "
+                f"{self.name!r} of size {len(self.data)}"
+            )
+        self.data[offset : offset + len(blob)] = blob
+
+    def read(self, offset: int = 0, length: int | None = None) -> bytes:
+        if not self.readable:
+            raise PermissionError(f"region {self.name!r} is not readable")
+        end = len(self.data) if length is None else offset + length
+        return bytes(self.data[offset:end])
+
+
+class Process:
+    """A running process: name, pid, loaded modules, memory regions."""
+
+    _next_pid = 1000
+
+    def __init__(self, name: str):
+        self.name = name
+        self.pid = Process._next_pid
+        Process._next_pid += 1
+        self.regions: list[MemoryRegion] = []
+        # Module name → implementation object (where hooks attach).
+        self.modules: dict[str, object] = {}
+        self.attached_instruments: list[str] = []
+
+    def map_region(self, name: str, size: int) -> MemoryRegion:
+        """Allocate and map a new zeroed region."""
+        region = MemoryRegion(name=name, data=bytearray(size))
+        self.regions.append(region)
+        return region
+
+    def unmap_region(self, region: MemoryRegion) -> None:
+        self.regions.remove(region)
+
+    def load_module(self, name: str, implementation: object) -> None:
+        if name in self.modules:
+            raise ValueError(f"module {name!r} already loaded in {self.name}")
+        self.modules[name] = implementation
+
+    def module(self, name: str) -> object:
+        try:
+            return self.modules[name]
+        except KeyError:
+            raise LookupError(
+                f"module {name!r} not loaded in process {self.name!r}"
+            ) from None
+
+    def has_module(self, name: str) -> bool:
+        return name in self.modules
+
+    def readable_regions(self) -> list[MemoryRegion]:
+        return [r for r in self.regions if r.readable]
+
+    def __repr__(self) -> str:
+        return f"Process({self.name!r}, pid={self.pid})"

@@ -1,0 +1,45 @@
+"""SafetyNet attestation (simulated).
+
+§IV-B: evaluated apps "rely on SafetyNet to hinder any dynamic
+analysis" — and §V-B: "no SafetyNet or anti-screen recording techniques
+can be of any use, since attackers only need to monitor Widevine that
+runs in a different process". The model captures both: attestation
+fails when the *app's own* process is instrumented or the device is
+rooted, but instrumentation on ``mediadrmserver`` is invisible to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.android.device import AndroidDevice
+
+__all__ = ["SafetyNetResult", "attest"]
+
+
+@dataclass(frozen=True)
+class SafetyNetResult:
+    """Outcome of a SafetyNet attestation call."""
+
+    basic_integrity: bool
+    cts_profile_match: bool
+
+    @property
+    def passed(self) -> bool:
+        return self.basic_integrity and self.cts_profile_match
+
+
+def attest(device: AndroidDevice, app_package: str) -> SafetyNetResult:
+    """Attest the environment as seen *from the app's process*."""
+    app_instrumented = False
+    for process in device.processes:
+        if process.name == app_package and process.attached_instruments:
+            app_instrumented = True
+    # Instrumentation of the app's own process breaks basic integrity;
+    # root alone only costs the CTS profile match (matching the study's
+    # experience: apps kept running on rooted phones, and hooks on
+    # mediadrmserver were invisible to every check).
+    return SafetyNetResult(
+        basic_integrity=not app_instrumented,
+        cts_profile_match=not device.rooted and not app_instrumented,
+    )

@@ -1,0 +1,304 @@
+"""Fragmented-MP4 building and inspection.
+
+Builds DASH-style init and media segments — clear or CENC-protected —
+and parses them back. The box grammar is the library's own (see
+:mod:`repro.bmff.boxes`): sample entries are modelled as containers
+holding a ``codc`` codec-info leaf plus, when protected, the standard
+``sinf``/``frma``/``schm``/``schi``/``tenc`` chain, which is exactly the
+structure the content-protection audit walks to classify assets.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.bmff import boxes as bx
+from repro.bmff.boxes import (
+    Box,
+    BoxParseError,
+    FrmaBox,
+    SaioBox,
+    SaizBox,
+    SchmBox,
+    SencBox,
+    SencEntry,
+    TencBox,
+    find_boxes,
+    find_first,
+    parse_boxes,
+    serialize_boxes,
+)
+from repro.bmff.cenc import CencSample
+
+__all__ = [
+    "TrackInfo",
+    "build_init_segment",
+    "build_media_segment",
+    "read_track_info",
+    "read_samples",
+    "read_pssh_boxes",
+]
+
+# Sample-entry fourccs by track kind: (clear, protected).
+_SAMPLE_ENTRIES = {
+    "video": (b"avc1", b"encv"),
+    "audio": (b"mp4a", b"enca"),
+    "text": (b"wvtt", b"enct"),
+}
+_KIND_BY_ENTRY = {}
+for _kind, (_clear, _enc) in _SAMPLE_ENTRIES.items():
+    _KIND_BY_ENTRY[_clear] = (_kind, False)
+    _KIND_BY_ENTRY[_enc] = (_kind, True)
+
+# Extend the container grammar with stsd and the sample entries.
+bx.CONTAINER_TYPES.update(
+    {b"stsd", b"avc1", b"encv", b"mp4a", b"enca", b"wvtt", b"enct"}
+)
+
+
+@dataclass(frozen=True)
+class TrackInfo:
+    """What an init segment declares about its single track."""
+
+    kind: str
+    codec: str
+    protected: bool
+    default_kid: bytes | None
+    iv_size: int
+    track_id: int
+    scheme: str = "cenc"  # protection scheme fourcc ("cenc" | "cbcs")
+
+
+def _codec_box(codec: str, kind: str) -> Box:
+    return Box(box_type=b"codc", payload=f"{kind}:{codec}".encode())
+
+
+def build_init_segment(
+    *,
+    kind: str,
+    codec: str,
+    track_id: int = 1,
+    default_kid: bytes | None = None,
+    iv_size: int = 8,
+    scheme: str = "cenc",
+    pssh: list[Box] | None = None,
+) -> bytes:
+    """Build a single-track init segment.
+
+    If *default_kid* is given the track is marked protected: the sample
+    entry becomes ``encv``/``enca``/``enct`` with a ``sinf`` chain and a
+    ``tenc`` declaring the KID, and any *pssh* boxes are placed in
+    ``moov`` — mirroring how packagers emit protected DASH content.
+    """
+    if kind not in _SAMPLE_ENTRIES:
+        raise ValueError(f"unknown track kind {kind!r}")
+    clear_fourcc, enc_fourcc = _SAMPLE_ENTRIES[kind]
+    protected = default_kid is not None
+
+    entry_children: list[Box] = [_codec_box(codec, kind)]
+    if protected:
+        assert default_kid is not None
+        entry_children.append(
+            Box(
+                box_type=b"sinf",
+                children=[
+                    FrmaBox(box_type=b"frma", original_format=clear_fourcc),
+                    SchmBox(box_type=b"schm", scheme_type=scheme.encode()),
+                    Box(
+                        box_type=b"schi",
+                        children=[
+                            TencBox(
+                                box_type=b"tenc",
+                                is_protected=True,
+                                iv_size=iv_size,
+                                default_kid=default_kid,
+                            )
+                        ],
+                    ),
+                ],
+            )
+        )
+    sample_entry = Box(
+        box_type=enc_fourcc if protected else clear_fourcc,
+        children=entry_children,
+    )
+    tkhd = Box(box_type=b"tkhd", payload=struct.pack(">I", track_id))
+    trak = Box(
+        box_type=b"trak",
+        children=[
+            tkhd,
+            Box(
+                box_type=b"mdia",
+                children=[
+                    Box(
+                        box_type=b"minf",
+                        children=[
+                            Box(
+                                box_type=b"stbl",
+                                children=[
+                                    Box(box_type=b"stsd", children=[sample_entry])
+                                ],
+                            )
+                        ],
+                    )
+                ],
+            ),
+        ],
+    )
+    moov_children: list[Box] = [trak]
+    if pssh:
+        moov_children.extend(pssh)
+    ftyp = Box(box_type=b"ftyp", payload=b"iso6dash")
+    moov = Box(box_type=b"moov", children=moov_children)
+    return serialize_boxes([ftyp, moov])
+
+
+def build_media_segment(
+    sequence_number: int,
+    samples: list[CencSample] | list[bytes],
+    *,
+    track_id: int = 1,
+    iv_size: int = 8,
+) -> bytes:
+    """Build one media segment (``styp moof mdat``).
+
+    Pass :class:`CencSample` items for protected content (their ``senc``
+    entries are emitted with ``saiz``/``saio``) or raw ``bytes`` for
+    clear content.
+    """
+    if not samples:
+        raise ValueError("a media segment needs at least one sample")
+    protected = isinstance(samples[0], CencSample)
+
+    sample_bytes: list[bytes] = []
+    senc_entries: list[SencEntry] = []
+    for sample in samples:
+        if protected:
+            if not isinstance(sample, CencSample):
+                raise TypeError("cannot mix clear and protected samples")
+            sample_bytes.append(sample.data)
+            senc_entries.append(sample.entry)
+        else:
+            if isinstance(sample, CencSample):
+                raise TypeError("cannot mix clear and protected samples")
+            sample_bytes.append(sample)
+
+    mfhd = Box(box_type=b"mfhd", payload=struct.pack(">I", sequence_number))
+    tfhd = Box(box_type=b"tfhd", payload=struct.pack(">I", track_id))
+    trun_payload = bytearray(struct.pack(">I", len(sample_bytes)))
+    for blob in sample_bytes:
+        trun_payload.extend(struct.pack(">I", len(blob)))
+    trun = Box(box_type=b"trun", payload=bytes(trun_payload))
+
+    traf_children: list[Box] = [tfhd, trun]
+    if protected:
+        senc = SencBox(box_type=b"senc", entries=senc_entries, iv_size=iv_size)
+        aux_sizes = [
+            iv_size + (2 + 6 * len(e.subsamples) if e.subsamples else 0)
+            for e in senc_entries
+        ]
+        traf_children.append(senc)
+        traf_children.append(SaizBox(box_type=b"saiz", sample_sizes=aux_sizes))
+        traf_children.append(SaioBox(box_type=b"saio", offsets=[0]))
+
+    moof = Box(
+        box_type=b"moof",
+        children=[mfhd, Box(box_type=b"traf", children=traf_children)],
+    )
+    styp = Box(box_type=b"styp", payload=b"msdh")
+    mdat = Box(box_type=b"mdat", payload=b"".join(sample_bytes))
+    return serialize_boxes([styp, moof, mdat])
+
+
+def read_track_info(init_segment: bytes) -> TrackInfo:
+    """Parse an init segment and report the track's protection status."""
+    tree = parse_boxes(init_segment)
+    stsd = find_first(tree, b"moov", b"trak", b"mdia", b"minf", b"stbl", b"stsd")
+    if stsd is None or not stsd.children:
+        raise BoxParseError("init segment has no sample description")
+    entry = stsd.children[0]
+    known = _KIND_BY_ENTRY.get(entry.box_type)
+    if known is None:
+        raise BoxParseError(f"unknown sample entry {entry.fourcc!r}")
+    kind, protected = known
+
+    codec = "unknown"
+    codc = find_first(entry.children, b"codc")
+    if codc is not None:
+        codec = codc.payload.decode().split(":", 1)[-1]
+
+    default_kid: bytes | None = None
+    iv_size = 8
+    scheme = "cenc"
+    if protected:
+        tenc = find_first(entry.children, b"sinf", b"schi", b"tenc")
+        if tenc is None or not isinstance(tenc, TencBox):
+            raise BoxParseError("protected entry lacks a tenc box")
+        default_kid = tenc.default_kid
+        iv_size = tenc.iv_size
+        schm = find_first(entry.children, b"sinf", b"schm")
+        if isinstance(schm, SchmBox):
+            scheme = schm.scheme_type.decode("latin-1")
+
+    track_id = 1
+    tkhd = find_first(tree, b"moov", b"trak", b"tkhd")
+    if tkhd is not None and len(tkhd.payload) >= 4:
+        (track_id,) = struct.unpack(">I", tkhd.payload[:4])
+
+    return TrackInfo(
+        kind=kind,
+        codec=codec,
+        protected=protected,
+        default_kid=default_kid,
+        iv_size=iv_size,
+        track_id=track_id,
+        scheme=scheme,
+    )
+
+
+def read_samples(
+    segment: bytes, *, iv_size: int = 8
+) -> tuple[list[CencSample], bool]:
+    """Extract the samples of one media segment.
+
+    Returns ``(samples, protected)``. For clear segments the samples
+    carry empty ``senc`` entries.
+    """
+    tree = parse_boxes(segment, iv_size_hint=iv_size)
+    trun = find_first(tree, b"moof", b"traf", b"trun")
+    mdat = find_first(tree, b"mdat")
+    if trun is None or mdat is None:
+        raise BoxParseError("media segment lacks trun or mdat")
+    (count,) = struct.unpack(">I", trun.payload[:4])
+    sizes = [
+        struct.unpack(">I", trun.payload[4 + 4 * i : 8 + 4 * i])[0]
+        for i in range(count)
+    ]
+    if sum(sizes) != len(mdat.payload):
+        raise BoxParseError("trun sizes do not cover mdat")
+
+    senc = find_first(tree, b"moof", b"traf", b"senc")
+    protected = senc is not None
+    entries: list[SencEntry]
+    if protected:
+        assert isinstance(senc, SencBox)
+        entries = senc.entries
+        if len(entries) != count:
+            raise BoxParseError("senc entry count mismatch")
+    else:
+        entries = [SencEntry(iv=bytes(iv_size)) for _ in range(count)]
+
+    samples: list[CencSample] = []
+    offset = 0
+    for size, entry in zip(sizes, entries):
+        samples.append(
+            CencSample(data=mdat.payload[offset : offset + size], entry=entry)
+        )
+        offset += size
+    return samples, protected
+
+
+def read_pssh_boxes(init_segment: bytes) -> list[Box]:
+    """All PSSH boxes found in an init segment's moov."""
+    return find_boxes(parse_boxes(init_segment), b"moov", b"pssh")

@@ -1,0 +1,114 @@
+"""Widevine PSSH init data.
+
+Real Widevine embeds a protobuf (``WidevinePsshData``) in the PSSH box;
+this module implements an equivalent self-describing TLV encoding with
+the same fields (key IDs, provider, content id, protection scheme), so
+the CDM, the license server and the audit pipeline all exchange real
+bytes rather than Python objects.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.bmff.boxes import PsshBox
+
+__all__ = [
+    "WIDEVINE_SYSTEM_ID",
+    "PLAYREADY_SYSTEM_ID",
+    "WidevinePsshData",
+    "build_widevine_pssh",
+    "parse_widevine_pssh",
+]
+
+# The real, well-known Widevine DRM system UUID.
+WIDEVINE_SYSTEM_ID = bytes.fromhex("edef8ba979d64acea3c827dcd51d21ed")
+# Microsoft PlayReady, used in tests as "some other DRM".
+PLAYREADY_SYSTEM_ID = bytes.fromhex("9a04f07998404286ab92e65be0885f95")
+
+_TAG_KEY_ID = 1
+_TAG_PROVIDER = 2
+_TAG_CONTENT_ID = 3
+_TAG_SCHEME = 4
+
+
+@dataclass
+class WidevinePsshData:
+    """DRM-specific init data carried in a Widevine PSSH box."""
+
+    key_ids: list[bytes] = field(default_factory=list)
+    provider: str = ""
+    content_id: bytes = b""
+    protection_scheme: str = "cenc"
+
+    def serialize(self) -> bytes:
+        out = bytearray()
+
+        def emit(tag: int, value: bytes) -> None:
+            out.extend(struct.pack(">BH", tag, len(value)))
+            out.extend(value)
+
+        for kid in self.key_ids:
+            if len(kid) != 16:
+                raise ValueError("key id must be 16 bytes")
+            emit(_TAG_KEY_ID, kid)
+        if self.provider:
+            emit(_TAG_PROVIDER, self.provider.encode())
+        if self.content_id:
+            emit(_TAG_CONTENT_ID, self.content_id)
+        emit(_TAG_SCHEME, self.protection_scheme.encode())
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "WidevinePsshData":
+        result = cls(protection_scheme="")
+        offset = 0
+        while offset < len(data):
+            if offset + 3 > len(data):
+                raise ValueError("truncated pssh data TLV")
+            tag, length = struct.unpack(">BH", data[offset : offset + 3])
+            offset += 3
+            value = data[offset : offset + length]
+            if len(value) != length:
+                raise ValueError("truncated pssh data value")
+            offset += length
+            if tag == _TAG_KEY_ID:
+                result.key_ids.append(value)
+            elif tag == _TAG_PROVIDER:
+                result.provider = value.decode()
+            elif tag == _TAG_CONTENT_ID:
+                result.content_id = value
+            elif tag == _TAG_SCHEME:
+                result.protection_scheme = value.decode()
+            # Unknown tags are skipped for forward compatibility.
+        if not result.protection_scheme:
+            result.protection_scheme = "cenc"
+        return result
+
+
+def build_widevine_pssh(
+    key_ids: list[bytes],
+    *,
+    provider: str = "",
+    content_id: bytes = b"",
+) -> PsshBox:
+    """Build a version-1 Widevine PSSH box covering *key_ids*."""
+    data = WidevinePsshData(
+        key_ids=list(key_ids), provider=provider, content_id=content_id
+    )
+    return PsshBox(
+        box_type=b"pssh",
+        system_id=WIDEVINE_SYSTEM_ID,
+        key_ids=list(key_ids),
+        data=data.serialize(),
+    )
+
+
+def parse_widevine_pssh(box: PsshBox) -> WidevinePsshData:
+    """Decode the Widevine init data from a PSSH box."""
+    if box.system_id != WIDEVINE_SYSTEM_ID:
+        raise ValueError(
+            f"not a Widevine pssh (system id {box.system_id.hex()})"
+        )
+    return WidevinePsshData.parse(box.data)

@@ -1,0 +1,16 @@
+"""W3C ClearKey: a second DRM system for the Android HAL (see
+:mod:`repro.clearkey.cdm`)."""
+
+from repro.clearkey.cdm import (
+    CLEARKEY_SYSTEM_ID,
+    ClearKeyCdm,
+    ClearKeyHalPlugin,
+    jwk_key_set,
+)
+
+__all__ = [
+    "CLEARKEY_SYSTEM_ID",
+    "ClearKeyCdm",
+    "ClearKeyHalPlugin",
+    "jwk_key_set",
+]

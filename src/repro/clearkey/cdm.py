@@ -1,0 +1,179 @@
+"""W3C ClearKey — a second DRM system behind the Android HAL.
+
+§II-B: "This framework supports many DRM systems; which DRM a device
+supports varies regarding the device manufacturer." ClearKey is the
+W3C's mandatory-to-implement EME key system: content keys travel as a
+JSON Web Key set, with no device identity, no provisioning and no
+hardware backing — the simplest real key system there is.
+
+Having a second plugin exercises the HAL's multi-DRM dispatch and gives
+the Q1 monitor a true negative: a ClearKey playback drives the DRM
+framework without a single ``_oecc`` call, so the WideLeak classifier
+reports "no Widevine" exactly as it does for Amazon's embedded DRM.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass, field
+
+from repro.bmff.boxes import SencEntry, SubsampleRange
+from repro.bmff.cenc import CencSample, decrypt_sample, decrypt_sample_cbcs
+from repro.widevine.oemcrypto import DecryptResult, KeyNotLoadedError
+
+__all__ = ["CLEARKEY_SYSTEM_ID", "ClearKeyCdm", "ClearKeyHalPlugin", "jwk_key_set"]
+
+# The W3C Common PSSH box system id used for ClearKey.
+CLEARKEY_SYSTEM_ID = bytes.fromhex("1077efecc0b24d02ace33c1e52e2fb4b")
+
+
+def _b64url(raw: bytes) -> str:
+    return base64.urlsafe_b64encode(raw).rstrip(b"=").decode()
+
+
+def _unb64url(raw: str) -> bytes:
+    padded = raw + "=" * (-len(raw) % 4)
+    return base64.urlsafe_b64decode(padded)
+
+
+def jwk_key_set(keys: dict[bytes, bytes]) -> bytes:
+    """Serialize kid→key pairs as an EME-style JWK set."""
+    return json.dumps(
+        {
+            "keys": [
+                {"kty": "oct", "kid": _b64url(kid), "k": _b64url(key)}
+                for kid, key in sorted(keys.items())
+            ],
+            "type": "temporary",
+        }
+    ).encode()
+
+
+@dataclass
+class _ClearKeySession:
+    session_id: bytes
+    origin: str
+    keys: dict[bytes, bytes] = field(default_factory=dict)
+
+
+class ClearKeyCdm:
+    """The ClearKey content decryption module.
+
+    Duck-typed to the same surface :class:`repro.android.mediadrm.MediaDrm`
+    drives on the Widevine CDM — sessions, key requests/responses,
+    decryption — minus everything ClearKey doesn't have (provisioning,
+    generic crypto, secure output).
+    """
+
+    VENDOR = "W3C"
+
+    def __init__(self) -> None:
+        self._sessions: dict[bytes, _ClearKeySession] = {}
+        self._next_session = 1
+
+    @property
+    def security_level(self) -> str:
+        return "L3"  # software-only by definition
+
+    @property
+    def cdm_version(self) -> str:
+        return "1.0.0"
+
+    def is_provisioned(self, origin: str) -> bool:
+        return True  # no device identity, nothing to provision
+
+    def open_session(self, origin: str) -> bytes:
+        session_id = (0xCE000000 + self._next_session).to_bytes(4, "big")
+        self._next_session += 1
+        self._sessions[session_id] = _ClearKeySession(
+            session_id=session_id, origin=origin
+        )
+        return session_id
+
+    def close_session(self, session_id: bytes) -> None:
+        self._sessions.pop(session_id, None)
+
+    def _session(self, session_id: bytes) -> _ClearKeySession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise ValueError(f"unknown ClearKey session {session_id.hex()}") from None
+
+    def get_key_request(self, session_id: bytes, init_data: bytes) -> bytes:
+        """EME license request: the wanted kids, base64url-encoded."""
+        self._session(session_id)
+        from repro.bmff.pssh import WidevinePsshData
+
+        # Reuse the TLV init-data format; only the kids matter here.
+        try:
+            kids = WidevinePsshData.parse(init_data).key_ids
+        except ValueError:
+            kids = []
+        return json.dumps(
+            {"kids": [_b64url(k) for k in kids], "type": "temporary"}
+        ).encode()
+
+    def provide_key_response(self, session_id: bytes, response: bytes) -> list[bytes]:
+        """Load a JWK set."""
+        session = self._session(session_id)
+        try:
+            payload = json.loads(response.decode())
+            entries = payload["keys"]
+        except (ValueError, KeyError, UnicodeDecodeError) as exc:
+            raise ValueError(f"bad JWK set: {exc}") from exc
+        loaded = []
+        for entry in entries:
+            kid = _unb64url(entry["kid"])
+            key = _unb64url(entry["k"])
+            if len(key) != 16:
+                raise ValueError("JWK key must be 16 bytes")
+            session.keys[kid] = key
+            loaded.append(kid)
+        return loaded
+
+    def decrypt(
+        self,
+        session_id: bytes,
+        key_id: bytes,
+        data: bytes,
+        iv: bytes,
+        subsamples: list[tuple[int, int]] | None = None,
+        *,
+        mode: str = "cenc",
+    ) -> DecryptResult:
+        session = self._session(session_id)
+        key = session.keys.get(key_id)
+        if key is None:
+            raise KeyNotLoadedError(f"ClearKey {key_id.hex()} not loaded")
+        entry = SencEntry(
+            iv=iv,
+            subsamples=[SubsampleRange(c, p) for c, p in (subsamples or [])],
+        )
+        sample = CencSample(data=data, entry=entry)
+        if mode == "cenc":
+            clear = decrypt_sample(sample, key)
+        elif mode == "cbcs":
+            clear = decrypt_sample_cbcs(sample, key)
+        else:
+            raise ValueError(f"unsupported protection scheme {mode!r}")
+        return DecryptResult(secure=False, data=clear)
+
+
+class ClearKeyHalPlugin:
+    """HAL registration shim for ClearKey."""
+
+    uuid = CLEARKEY_SYSTEM_ID
+
+    def __init__(self) -> None:
+        self.cdm = ClearKeyCdm()
+        self.security_level = self.cdm.security_level
+
+    def properties(self) -> dict[str, str]:
+        return {
+            "vendor": ClearKeyCdm.VENDOR,
+            "version": self.cdm.cdm_version,
+            "description": "ClearKey CDM (simulated)",
+            "securityLevel": self.security_level,
+            "systemId": self.uuid.hex(),
+        }

@@ -1,0 +1,173 @@
+"""Command-line interface for the WideLeak reproduction.
+
+    wideleak table1              regenerate Table I and diff vs the paper
+    wideleak figure1             capture and print the Figure 1 sequence
+    wideleak audit <app>         run the Q1–Q4 pipeline for one app
+    wideleak attack <app>        run the §IV-D key-ladder attack
+    wideleak attack-all          the full §IV-D sweep
+    wideleak list-apps           show the evaluated services
+
+Also runnable as ``python -m repro <command>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.report import EXPECTED_PAPER_TABLE, TableOne
+from repro.core.study import WideLeakStudy
+from repro.ott.registry import ALL_PROFILES, profile_by_name
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="wideleak",
+        description="Reproduction of the DSN 2022 WideLeak study.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="regenerate Table I and diff vs the paper")
+    sub.add_parser("figure1", help="capture the Figure 1 message sequence")
+    sub.add_parser("list-apps", help="list the evaluated OTT services")
+    sub.add_parser("attack-all", help="run the §IV-D sweep over all apps")
+
+    audit = sub.add_parser("audit", help="run Q1–Q4 for one app")
+    audit.add_argument("app", help='display name, e.g. "Netflix" or "Hulu"')
+
+    attack = sub.add_parser("attack", help="run the key-ladder attack on one app")
+    attack.add_argument("app", help='display name, e.g. "Showtime"')
+
+    return parser
+
+
+def _cmd_table1() -> int:
+    study = WideLeakStudy.with_default_apps()
+    result = study.run()
+    print(result.table.render())
+    diffs = result.table.diff_against_paper()
+    if diffs:
+        print("\nDIVERGES from the published table:")
+        for diff in diffs:
+            print(f"  - {diff}")
+        return 1
+    print("\nCell-for-cell match with the published Table I.")
+    return 0
+
+
+def _cmd_figure1() -> int:
+    from repro.ott.app import OttApp
+
+    study = WideLeakStudy.with_default_apps()
+    profile = profile_by_name("OCS")
+    app = OttApp(profile, study.l1_device, study.backends[profile.service])
+    app.play()
+    study.l1_device.trace.clear()
+    result = app.play()
+    if not result.ok:
+        print(f"playback failed: {result.error}")
+        return 1
+    from repro.core.figures import collapse_decode_loop
+
+    for source, target, label in collapse_decode_loop(
+        study.l1_device.trace.labels()
+    ):
+        print(f"{source} -> {target}: {label}")
+    return 0
+
+
+def _cmd_list_apps() -> int:
+    print(f"{'app':22s} {'installs':>9s}  {'audio':12s} {'revokes':8s} notes")
+    for profile in ALL_PROFILES:
+        notes = []
+        if profile.uri_protection != "plain":
+            notes.append("secure-channel URIs")
+        if profile.custom_drm_on_l3:
+            notes.append("custom DRM on L3")
+        if not profile.subtitles_listed:
+            notes.append("subs unlisted")
+        if not profile.key_metadata_available:
+            notes.append("key metadata geo-blocked")
+        print(
+            f"{profile.name:22s} {profile.installs_millions:>7d}M+ "
+            f" {profile.audio_protection.value:12s} "
+            f"{str(profile.enforces_revocation):8s} {', '.join(notes)}"
+        )
+    return 0
+
+
+def _cmd_audit(app_name: str) -> int:
+    study = WideLeakStudy.with_default_apps()
+    try:
+        profile = profile_by_name(app_name)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    app_result = study.study_app(profile)
+    row = WideLeakStudy._to_row(app_result)
+    table = TableOne(rows=[row])
+    print(table.render())
+    expected = EXPECTED_PAPER_TABLE.get(profile.name)
+    if expected is not None:
+        print(f"\npaper row:    {'  '.join(expected.cells())}")
+        print(f"measured row: {'  '.join(row.cells())}")
+        print("match" if expected == row else "MISMATCH")
+    return 0
+
+
+def _cmd_attack(app_name: str) -> int:
+    try:
+        profile = profile_by_name(app_name)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    study = WideLeakStudy.with_default_apps()
+    outcome = study.run_attack(profile)
+    attack, recovered = outcome.attack, outcome.recovered
+    print(f"target: {profile.name} on {attack.device_model}")
+    print(f"keybox recovered:     {attack.keybox_recovered}")
+    print(f"device RSA recovered: {attack.rsa_recovered}")
+    print(f"content keys:         {len(attack.content_keys)}")
+    for note in attack.notes:
+        print(f"note: {note}")
+    if recovered is not None and recovered.succeeded:
+        print(f"DRM-free recovery:    yes, best {recovered.best_video_height}p")
+        return 0
+    print("DRM-free recovery:    no")
+    return 1
+
+
+def _cmd_attack_all() -> int:
+    study = WideLeakStudy.with_default_apps()
+    broken = []
+    for name, outcome in study.run_all_attacks().items():
+        ok = outcome.recovered is not None and outcome.recovered.succeeded
+        best = outcome.recovered.best_video_height if ok else "-"
+        print(f"{name:22s} {'BROKEN' if ok else 'resisted':9s} best={best}")
+        if ok:
+            broken.append(name)
+    print(f"\n{len(broken)} apps yield DRM-free content: {', '.join(broken)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "figure1":
+        return _cmd_figure1()
+    if args.command == "list-apps":
+        return _cmd_list_apps()
+    if args.command == "audit":
+        return _cmd_audit(args.app)
+    if args.command == "attack":
+        return _cmd_attack(args.app)
+    if args.command == "attack-all":
+        return _cmd_attack_all()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""The paper's contribution: the WideLeak study methodology.
+
+Static analysis, DRM API monitoring, content-protection auditing,
+key-usage analysis, legacy-device probing, the §IV-D key-ladder attack
+(CVE-2021-0639), media reconstruction, and Table I reporting.
+"""
+
+from repro.core.content_audit import ContentAuditor, ContentAuditResult, TrackAudit
+from repro.core.figures import (
+    FIGURE_1_ARROWS,
+    capture_figure1,
+    collapse_decode_loop,
+    figure1_matches,
+)
+from repro.core.hd_forgery import HdForgeryAttack, HdForgeryResult
+from repro.core.key_usage import KeyUsageAnalyzer, KeyUsageReport
+from repro.core.keyladder_attack import KeyLadderAttack, KeyLadderAttackResult
+from repro.core.legacy_probe import (
+    LegacyDeviceProbe,
+    LegacyOutcome,
+    LegacyProbeResult,
+)
+from repro.core.media_recovery import (
+    MediaRecoveryPipeline,
+    RecoveredMedia,
+    RecoveredTrack,
+)
+from repro.core.monitor import (
+    DrmApiMonitor,
+    DrmApiObservation,
+    bypass_app_protections,
+)
+from repro.core.moviestealer import (
+    InsecureSoftwarePlayer,
+    MovieStealer,
+    MovieStealerResult,
+)
+from repro.core.report import (
+    EXPECTED_PAPER_TABLE,
+    TableOne,
+    TableOneRow,
+    expected_row,
+)
+from repro.core.static_analysis import StaticAnalysisReport, analyze_apk
+from repro.core.study import (
+    AppStudyResult,
+    AttackStudyResult,
+    StudyResult,
+    WideLeakStudy,
+)
+
+__all__ = [
+    "ContentAuditor",
+    "ContentAuditResult",
+    "TrackAudit",
+    "FIGURE_1_ARROWS",
+    "capture_figure1",
+    "collapse_decode_loop",
+    "figure1_matches",
+    "HdForgeryAttack",
+    "HdForgeryResult",
+    "InsecureSoftwarePlayer",
+    "MovieStealer",
+    "MovieStealerResult",
+    "KeyUsageAnalyzer",
+    "KeyUsageReport",
+    "KeyLadderAttack",
+    "KeyLadderAttackResult",
+    "LegacyDeviceProbe",
+    "LegacyOutcome",
+    "LegacyProbeResult",
+    "MediaRecoveryPipeline",
+    "RecoveredMedia",
+    "RecoveredTrack",
+    "DrmApiMonitor",
+    "DrmApiObservation",
+    "bypass_app_protections",
+    "EXPECTED_PAPER_TABLE",
+    "TableOne",
+    "TableOneRow",
+    "expected_row",
+    "StaticAnalysisReport",
+    "analyze_apk",
+    "AppStudyResult",
+    "AttackStudyResult",
+    "StudyResult",
+    "WideLeakStudy",
+]

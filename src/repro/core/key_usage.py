@@ -1,0 +1,131 @@
+"""Key-usage analysis — the Q3 pipeline.
+
+"We analyzed some metadata indicating the identifier for every
+decryption key" — key IDs come from the captured MPD's per-track
+``cenc:default_KID`` attributes plus the service's own key-metadata
+endpoint. The classification (Table I, "Widevine Key Usage"):
+
+- **Recommended** — distinct keys per video resolution *and* audio keys
+  disjoint from video keys;
+- **Minimum** — audio delivered in clear, or audio sharing a video key;
+- **unknown ("-")** — key identifiers could not be attributed to tracks
+  (the paper's regional-restriction cases).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.dash.mpd import Mpd, MpdParseError
+from repro.license_server.policy import KeyUsagePolicy
+from repro.ott.app import OttApp
+
+__all__ = ["KeyUsageReport", "KeyUsageAnalyzer"]
+
+
+@dataclass
+class KeyUsageReport:
+    """Q3 verdict for one app."""
+
+    service: str
+    classification: KeyUsagePolicy | None  # None = could not conclude
+    audio_clear: bool = False
+    audio_shares_video_key: bool = False
+    video_keys_distinct_per_resolution: bool = False
+    video_kids: dict[str, bytes] = field(default_factory=dict)  # rep → kid
+    audio_kids: dict[str, bytes | None] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+
+class KeyUsageAnalyzer:
+    """Attributes key IDs to tracks and classifies the key policy."""
+
+    def analyze(self, app: OttApp, mpd_bytes: bytes | None) -> KeyUsageReport:
+        report = KeyUsageReport(service=app.profile.service, classification=None)
+        if mpd_bytes is None:
+            report.notes.append("no manifest available")
+            return report
+        try:
+            mpd = Mpd.from_xml(mpd_bytes)
+        except MpdParseError as exc:
+            report.notes.append(f"manifest unparsable: {exc}")
+            return report
+
+        video_kids: dict[str, bytes | None] = {}
+        video_heights: dict[str, int | None] = {}
+        audio_kids: dict[str, bytes | None] = {}
+        audio_protected: dict[str, bool] = {}
+        for aset in mpd.adaptation_sets:
+            for rep in aset.representations:
+                if aset.content_type == "video":
+                    video_kids[rep.rep_id] = rep.default_kid()
+                    video_heights[rep.rep_id] = rep.height
+                elif aset.content_type == "audio":
+                    audio_kids[rep.rep_id] = rep.default_kid()
+                    audio_protected[rep.rep_id] = rep.protected
+
+        # Fill attribution gaps from the OTT-specific metadata endpoint.
+        missing_video = [r for r, k in video_kids.items() if k is None]
+        missing_audio = [
+            r for r, k in audio_kids.items() if k is None and audio_protected[r]
+        ]
+        if missing_video or missing_audio:
+            keymap = self._fetch_keymap(app, mpd.title_id)
+            if keymap is None:
+                report.notes.append(
+                    "key metadata endpoint unavailable (regional restriction); "
+                    "cannot attribute key ids to tracks"
+                )
+                return report
+            for rep_id in missing_video:
+                video_kids[rep_id] = keymap.get(rep_id)
+            for rep_id in missing_audio:
+                audio_kids[rep_id] = keymap.get(rep_id)
+
+        report.video_kids = {r: k for r, k in video_kids.items() if k is not None}
+        report.audio_kids = dict(audio_kids)
+
+        # Distinct video keys per resolution?
+        heights_by_kid: dict[bytes, set[int | None]] = {}
+        for rep_id, kid in report.video_kids.items():
+            heights_by_kid.setdefault(kid, set()).add(video_heights.get(rep_id))
+        report.video_keys_distinct_per_resolution = len(heights_by_kid) == len(
+            report.video_kids
+        )
+
+        # Audio classification.
+        report.audio_clear = any(
+            not audio_protected.get(r, False) for r in audio_kids
+        )
+        video_kid_set = set(report.video_kids.values())
+        protected_audio_kids = {
+            k for r, k in audio_kids.items() if audio_protected.get(r) and k
+        }
+        report.audio_shares_video_key = bool(protected_audio_kids & video_kid_set)
+
+        if report.audio_clear or report.audio_shares_video_key:
+            report.classification = KeyUsagePolicy.MINIMUM
+        elif protected_audio_kids:
+            report.classification = KeyUsagePolicy.RECOMMENDED
+        else:
+            report.notes.append("no audio tracks found; cannot classify")
+        return report
+
+    @staticmethod
+    def _fetch_keymap(app: OttApp, title_id: str) -> dict[str, bytes] | None:
+        token = app.token
+        if token is None:
+            app.login()
+            token = app.token
+        response = app.http.get(
+            f"https://{app.profile.api_host}/keymap?title={title_id}&token={token}"
+        )
+        if not response.ok:
+            return None
+        payload = json.loads(response.body.decode())
+        return {
+            rep_id: bytes.fromhex(kid)
+            for rep_id, kid in payload.items()
+            if kid is not None
+        }

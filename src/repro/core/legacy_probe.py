@@ -1,0 +1,86 @@
+"""Legacy-device probing — the Q4 pipeline (§IV-B "Outdated Device").
+
+"Our approach is straightforward: we use [a] Nexus 5 phone to display
+content ... We also keep monitoring all calls to Widevine. We
+distinguish two cases: (1) the app can display Widevine protected
+content, and (2) the app uses Widevine, but no content can be
+displayed."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.android.device import AndroidDevice
+from repro.core.monitor import DrmApiMonitor, DrmApiObservation
+from repro.ott.app import OttApp, PlaybackResult
+
+__all__ = ["LegacyOutcome", "LegacyProbeResult", "LegacyDeviceProbe"]
+
+
+class LegacyOutcome(enum.Enum):
+    """Table I's Q4 column values."""
+
+    PLAYS = "plays"  # filled circle
+    PLAYS_CUSTOM_DRM = "plays-custom-drm"  # filled circle with dagger
+    PROVISIONING_FAILED = "provisioning-failed"  # half circle (G#)
+    LICENSE_DENIED = "license-denied"
+    OTHER_FAILURE = "other-failure"
+
+
+@dataclass
+class LegacyProbeResult:
+    """Q4 verdict for one app on one discontinued device."""
+
+    service: str
+    device_model: str
+    outcome: LegacyOutcome
+    playback: PlaybackResult
+    observation: DrmApiObservation
+    video_height: int | None = None
+
+    @property
+    def content_delivered(self) -> bool:
+        return self.outcome in (
+            LegacyOutcome.PLAYS,
+            LegacyOutcome.PLAYS_CUSTOM_DRM,
+        )
+
+
+class LegacyDeviceProbe:
+    """Runs Q4 against a discontinued device."""
+
+    def __init__(self, device: AndroidDevice):
+        if not device.spec.discontinued:
+            raise ValueError(
+                f"{device.spec.model} still receives updates; Q4 probes a "
+                "discontinued device"
+            )
+        self.device = device
+
+    def probe(self, app: OttApp, *, title_id: str | None = None) -> LegacyProbeResult:
+        monitor = DrmApiMonitor(self.device)
+        with monitor.attached():
+            playback = app.play(title_id)
+            observation = monitor.observation()
+
+        if playback.ok and playback.used_custom_drm:
+            outcome = LegacyOutcome.PLAYS_CUSTOM_DRM
+        elif playback.ok:
+            outcome = LegacyOutcome.PLAYS
+        elif playback.provisioning_failed:
+            outcome = LegacyOutcome.PROVISIONING_FAILED
+        elif playback.error and "license" in playback.error.lower():
+            outcome = LegacyOutcome.LICENSE_DENIED
+        else:
+            outcome = LegacyOutcome.OTHER_FAILURE
+
+        return LegacyProbeResult(
+            service=app.profile.service,
+            device_model=self.device.spec.model,
+            outcome=outcome,
+            playback=playback,
+            observation=observation,
+            video_height=playback.video_height,
+        )

@@ -1,0 +1,177 @@
+"""DRM-free media reconstruction — the tail of §IV-D.
+
+"Finally, we use MPEG-CENC to decrypt all protected contents. With some
+processing, we reconstruct the pirated media and play it on another
+device (i.e., personal computer) without any OTT account."
+
+Given a manifest URI and the content keys recovered by
+:mod:`repro.core.keyladder_attack`, this pipeline downloads every asset
+with an account-less client, CENC-decrypts what it has keys for,
+rebuilds clear init/media segments, and verifies the result with the
+reference player — the "another device". Since the keys came from an
+L3 session, HD representations stay undecryptable and the best playable
+quality lands at 960x540 (qHD), the paper's headline limitation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bmff.builder import (
+    build_init_segment,
+    build_media_segment,
+    read_samples,
+    read_track_info,
+)
+from repro.bmff.cenc import decrypt_sample, decrypt_sample_cbcs
+from repro.dash.mpd import Mpd, MpdParseError
+from repro.media.player import AssetStatus, probe_subtitle, probe_track
+from repro.net.network import HttpClient, Network
+
+__all__ = ["RecoveredTrack", "RecoveredMedia", "MediaRecoveryPipeline"]
+
+
+@dataclass
+class RecoveredTrack:
+    """One representation's recovery outcome."""
+
+    rep_id: str
+    kind: str
+    height: int | None = None
+    language: str | None = None
+    was_encrypted: bool = False
+    decrypted: bool = False
+    playable: bool = False
+    clear_init: bytes = b""
+    clear_segments: list[bytes] = field(default_factory=list)
+    note: str = ""
+
+
+@dataclass
+class RecoveredMedia:
+    """A reconstructed, account-free copy of one title."""
+
+    service: str
+    title_id: str
+    tracks: list[RecoveredTrack] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def best_video_height(self) -> int | None:
+        heights = [
+            t.height
+            for t in self.tracks
+            if t.kind == "video" and t.playable and t.height is not None
+        ]
+        return max(heights) if heights else None
+
+    @property
+    def playable_kinds(self) -> set[str]:
+        return {t.kind for t in self.tracks if t.playable}
+
+    @property
+    def succeeded(self) -> bool:
+        """DRM-free recovery counts once playable video exists."""
+        return any(t.kind == "video" and t.playable for t in self.tracks)
+
+
+class MediaRecoveryPipeline:
+    """Downloads, decrypts and re-verifies a title outside any app."""
+
+    def __init__(self, network: Network):
+        # Deliberately a *fresh* client: no account, no pins, no device.
+        self.client = HttpClient(network)
+
+    def recover(
+        self,
+        service: str,
+        mpd_url: str,
+        content_keys: dict[bytes, bytes],
+    ) -> RecoveredMedia:
+        response = self.client.get(mpd_url)
+        result = RecoveredMedia(service=service, title_id="")
+        if not response.ok:
+            result.notes.append(f"manifest download failed: {response.status}")
+            return result
+        try:
+            mpd = Mpd.from_xml(response.body)
+        except MpdParseError as exc:
+            result.notes.append(f"manifest unparsable: {exc}")
+            return result
+        result.title_id = mpd.title_id
+
+        for aset in mpd.adaptation_sets:
+            for rep in aset.representations:
+                if aset.content_type == "text":
+                    result.tracks.append(self._recover_subtitle(rep, aset.lang))
+                else:
+                    result.tracks.append(
+                        self._recover_av_track(
+                            rep, aset.content_type, aset.lang, content_keys
+                        )
+                    )
+        return result
+
+    def _recover_subtitle(self, rep, language) -> RecoveredTrack:
+        body = self.client.get(rep.init_url).body
+        status = probe_subtitle(body)
+        return RecoveredTrack(
+            rep_id=rep.rep_id,
+            kind="text",
+            language=language,
+            was_encrypted=status is AssetStatus.ENCRYPTED,
+            decrypted=status is AssetStatus.CLEAR,
+            playable=status is AssetStatus.CLEAR,
+            clear_init=body if status is AssetStatus.CLEAR else b"",
+            note="subtitles are delivered in clear" if status is AssetStatus.CLEAR else "",
+        )
+
+    def _recover_av_track(
+        self, rep, kind: str, language, content_keys: dict[bytes, bytes]
+    ) -> RecoveredTrack:
+        track = RecoveredTrack(
+            rep_id=rep.rep_id, kind=kind, height=rep.height, language=language
+        )
+        init = self.client.get(rep.init_url).body
+        info = read_track_info(init)
+        track.was_encrypted = info.protected
+
+        segments = [self.client.get(url).body for url in rep.segment_urls]
+        if not info.protected:
+            # Already clear (e.g. Netflix audio): "reconstruction" is a
+            # straight copy, playable anywhere with no account.
+            track.clear_init = init
+            track.clear_segments = segments
+            track.decrypted = True
+            track.note = "asset was delivered unencrypted"
+        else:
+            assert info.default_kid is not None
+            key = content_keys.get(info.default_kid)
+            if key is None:
+                track.note = (
+                    f"no content key for kid {info.default_kid.hex()[:8]}… "
+                    "(not granted at this security level)"
+                )
+                return track
+            track.clear_init = build_init_segment(kind=info.kind, codec=info.codec)
+            for index, segment in enumerate(segments):
+                samples, protected = read_samples(segment, iv_size=info.iv_size)
+                if not protected:
+                    track.clear_segments.append(segment)
+                    continue
+                if info.scheme == "cbcs":
+                    clear_samples = [
+                        decrypt_sample_cbcs(s, key) for s in samples
+                    ]
+                else:
+                    clear_samples = [decrypt_sample(s, key) for s in samples]
+                track.clear_segments.append(
+                    build_media_segment(index + 1, clear_samples)
+                )
+            track.decrypted = True
+
+        probe = probe_track(track.clear_init, track.clear_segments)
+        track.playable = probe.status is AssetStatus.CLEAR
+        if track.decrypted and not track.playable:
+            track.note = f"decryption produced unplayable output: {probe.notes}"
+        return track

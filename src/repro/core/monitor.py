@@ -1,0 +1,95 @@
+"""DRM API monitoring (§IV-B, second prong — the Q1 instrument).
+
+Attaches the Frida analogue to the device's DRM process (``mediadrm-
+server`` from Android 7, ``mediaserver`` before), hooks the whole
+``_oecc`` surface, and classifies what a playback run actually used:
+Widevine L1, Widevine L3, or no platform Widevine at all (a custom
+DRM).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.android.device import AndroidDevice
+from repro.instrumentation.frida import FridaSession
+from repro.instrumentation.hooks import OeccMonitor, disable_ssl_pinning
+
+__all__ = ["DrmApiObservation", "DrmApiMonitor", "bypass_app_protections"]
+
+
+@dataclass
+class DrmApiObservation:
+    """Aggregated result of one monitored playback."""
+
+    widevine_used: bool
+    security_level: str | None  # "L1" | "L3" | None
+    oecc_call_count: int
+    functions_seen: tuple[str, ...]
+
+
+class DrmApiMonitor:
+    """Hooks and observes the Widevine CDM process of one device."""
+
+    def __init__(self, device: AndroidDevice):
+        self.device = device
+        self._session: FridaSession | None = None
+        self._monitor: OeccMonitor | None = None
+
+    @property
+    def oecc(self) -> OeccMonitor:
+        if self._monitor is None:
+            raise RuntimeError("monitor not attached")
+        return self._monitor
+
+    def attach(self) -> None:
+        if self._session is not None:
+            return
+        self._session = FridaSession.attach(
+            self.device, self.device.drm_process.name
+        )
+        self._monitor = OeccMonitor(self._session)
+        self._monitor.install()
+
+    def detach(self) -> None:
+        if self._session is not None:
+            self._session.detach()
+            self._session = None
+            self._monitor = None
+
+    @contextmanager
+    def attached(self) -> Iterator["DrmApiMonitor"]:
+        self.attach()
+        try:
+            yield self
+        finally:
+            self.detach()
+
+    def observation(self) -> DrmApiObservation:
+        monitor = self.oecc
+        records = monitor.records
+        return DrmApiObservation(
+            widevine_used=monitor.widevine_active(),
+            security_level=monitor.observed_security_level(),
+            oecc_call_count=len(records),
+            functions_seen=tuple(sorted({r.function for r in records})),
+        )
+
+    def clear(self) -> None:
+        self.oecc.clear()
+
+
+def bypass_app_protections(app) -> None:
+    """Apply the public Frida scripts to the *app's* process: defeat
+    certificate pinning and neutralize anti-debug/SafetyNet checks.
+
+    §IV-C: "using public Frida resources, we succeeded in bypassing SSL
+    repinning on all OTT apps, which shows how ineffective such a
+    security mechanism is."
+    """
+    if "frida" not in app.process.attached_instruments:
+        app.process.attached_instruments.append("frida")
+    app.protections_bypassed = True
+    disable_ssl_pinning(app.http)

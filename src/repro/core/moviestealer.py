@@ -1,0 +1,172 @@
+"""MovieStealer — the 2013 baseline attack, and why it no longer works.
+
+Wang et al. (USENIX Security 2013) stole streams by scanning the
+*player application's* memory for decrypted media buffers, exploiting
+pre-TEE DRM designs where the app itself held the clear content. §II-B:
+"MovieStealer as defined in [6] does not work anymore, since the app
+has never access to the decrypted buffer."
+
+This module implements both halves of that claim:
+
+- :class:`MovieStealer` — the baseline: scan a process's memory for
+  decodable media samples;
+- :class:`InsecureSoftwarePlayer` — a deliberately archaic app that
+  decrypts in-process and keeps decoded frames in its own heap (the
+  2013-era design), against which the baseline still succeeds.
+
+Against any modern :class:`~repro.ott.app.OttApp` the scan comes back
+empty: decrypted samples exist only inside the CDM/codec path, never in
+the app's address space.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.android.device import AndroidDevice
+from repro.android.process import Process
+from repro.bmff.builder import read_samples, read_track_info
+from repro.dash.mpd import Mpd
+from repro.media.codecs import SAMPLE_MAGIC, validate_sample
+from repro.ott.backend import OttBackend
+from repro.ott.custom_drm import EmbeddedCdm
+from repro.ott.profile import OttProfile
+
+__all__ = ["MovieStealer", "MovieStealerResult", "InsecureSoftwarePlayer"]
+
+_HEADER_SEQ_OFFSET = 6 + 24  # magic+kind+len+label
+_HEADER_LEN = 4 + 1 + 1 + 24 + 4 + 4
+_CHECKSUM_LEN = 8
+
+
+@dataclass
+class MovieStealerResult:
+    """What the memory scan recovered."""
+
+    process_name: str
+    recovered_samples: list[bytes] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return bool(self.recovered_samples)
+
+
+class MovieStealer:
+    """Scan a process's readable memory for clear media samples."""
+
+    def scan_process(self, process: Process) -> MovieStealerResult:
+        result = MovieStealerResult(process_name=process.name)
+        for region in process.readable_regions():
+            blob = bytes(region.data)
+            start = 0
+            while True:
+                index = blob.find(SAMPLE_MAGIC, start)
+                if index < 0:
+                    break
+                start = index + 1
+                header = blob[index : index + _HEADER_LEN]
+                if len(header) < _HEADER_LEN:
+                    continue
+                payload_len = int.from_bytes(
+                    header[_HEADER_LEN - 4 : _HEADER_LEN], "big"
+                )
+                total = _HEADER_LEN + payload_len + _CHECKSUM_LEN
+                candidate = blob[index : index + total]
+                if validate_sample(candidate).valid:
+                    result.recovered_samples.append(candidate)
+        return result
+
+    def run(self, device: AndroidDevice, package: str) -> MovieStealerResult:
+        """Attack an installed app by process name (needs root)."""
+        if not device.rooted:
+            raise PermissionError("memory scanning requires a rooted device")
+        return self.scan_process(device.find_process(package))
+
+
+class InsecureSoftwarePlayer:
+    """A 2013-style app: in-process DRM, decoded frames on the heap.
+
+    Uses an embedded software CDM (the service must expose the
+    embedded-license endpoint) and — the fatal design — writes every
+    decrypted sample into its own mapped memory before "rendering".
+    """
+
+    def __init__(
+        self, profile: OttProfile, device: AndroidDevice, backend: OttBackend
+    ):
+        if not profile.custom_drm_on_l3:
+            raise ValueError(
+                "the insecure player needs a service with an embedded-"
+                "license endpoint (custom_drm_on_l3=True)"
+            )
+        self.profile = profile
+        self.device = device
+        self.backend = backend
+        self.process = device.spawn_app_process(profile.package)
+        self.http = device.new_http_client()
+        self._heap = self.process.map_region(f"{profile.package}:decoded-frames", 0)
+
+    def play(self, title_id: str | None = None, *, language: str = "en") -> bool:
+        """Play a title, leaving decoded frames strewn across the heap."""
+        if title_id is None:
+            title_id = next(iter(self.backend.catalog)).title_id
+        token_resp = self.http.post(
+            f"https://{self.profile.api_host}/auth",
+            json.dumps({"username": "alice"}).encode(),
+        )
+        token = json.loads(token_resp.body.decode())["token"]
+
+        playback = self.http.get(
+            f"https://{self.profile.api_host}/playback"
+            f"?title={title_id}&token={token}"
+        )
+        mpd = Mpd.from_xml(
+            self.http.get(json.loads(playback.body.decode())["mpd_url"]).body
+        )
+
+        cdm = EmbeddedCdm(self.profile.service)
+        license_resp = self.http.post(
+            f"https://{self.profile.api_host}/embedded-license?token={token}",
+            cdm.build_key_request(title_id),
+        )
+        if not license_resp.ok:
+            return False
+        cdm.load_keys(license_resp.body)
+
+        frames: list[bytes] = []
+        for aset in mpd.sets_of_type("video"):
+            for rep in aset.representations:
+                if (rep.height or 0) > 540:
+                    continue
+                init = self.http.get(rep.init_url).body
+                info = read_track_info(init)
+                for url in rep.segment_urls:
+                    samples, protected = read_samples(
+                        self.http.get(url).body, iv_size=info.iv_size
+                    )
+                    for sample in samples:
+                        if protected:
+                            assert info.default_kid is not None
+                            clear = cdm.decrypt(
+                                info.default_kid,
+                                sample.data,
+                                sample.entry.iv,
+                                [
+                                    (s.clear_bytes, s.protected_bytes)
+                                    for s in sample.entry.subsamples
+                                ],
+                            )
+                        else:
+                            clear = sample.data
+                        if not validate_sample(clear).valid:
+                            return False
+                        frames.append(clear)
+        # The 2013 mistake: clear frames linger in app memory.
+        heap = b"".join(frames)
+        self.process.unmap_region(self._heap)
+        self._heap = self.process.map_region(
+            f"{self.profile.package}:decoded-frames", len(heap)
+        )
+        self._heap.write(0, heap)
+        return True

@@ -1,0 +1,154 @@
+"""Table I construction, rendering and comparison against the paper.
+
+Cells use the paper's notation:
+
+- Q1 / Q4 status: ``●`` (works), ``◐`` (Widevine fails during
+  provisioning, the paper's G#), ``✗`` (failed outright); a trailing
+  ``†`` marks Amazon's custom-DRM-on-L3 behaviour;
+- Q2: ``Encrypted`` / ``Clear`` / ``-`` (asset not obtainable);
+- Q3: ``Minimum`` / ``Recommended`` / ``-`` (could not conclude).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TableOneRow", "TableOne", "EXPECTED_PAPER_TABLE", "expected_row"]
+
+FULL = "●"
+HALF = "◐"
+FAIL = "✗"
+DAGGER = "†"
+
+
+@dataclass(frozen=True)
+class TableOneRow:
+    """One OTT app's row."""
+
+    app: str
+    widevine_used: str  # "●", "●†", "✗"
+    video: str
+    audio: str
+    subtitles: str
+    key_usage: str
+    legacy_playback: str  # "●", "●†", "◐", "✗"
+
+    def cells(self) -> tuple[str, ...]:
+        return (
+            self.app,
+            self.widevine_used,
+            self.video,
+            self.audio,
+            self.subtitles,
+            self.key_usage,
+            self.legacy_playback,
+        )
+
+
+_HEADERS = (
+    "OTT",
+    "Widevine (Q1)",
+    "Video (Q2)",
+    "Audio (Q2)",
+    "Subtitles (Q2)",
+    "Key Usage (Q3)",
+    "L3 legacy (Q4)",
+)
+
+
+@dataclass
+class TableOne:
+    """The study's headline table."""
+
+    rows: list[TableOneRow] = field(default_factory=list)
+
+    def add(self, row: TableOneRow) -> None:
+        self.rows.append(row)
+
+    def row_for(self, app: str) -> TableOneRow:
+        for row in self.rows:
+            if row.app == app:
+                return row
+        raise KeyError(f"no row for app {app!r}")
+
+    def render(self) -> str:
+        """Fixed-width text rendering of Table I."""
+        table = [_HEADERS] + [row.cells() for row in self.rows]
+        widths = [
+            max(len(row[col]) for row in table) for col in range(len(_HEADERS))
+        ]
+        lines = []
+        for index, row in enumerate(table):
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            )
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (for reports/docs)."""
+        lines = ["| " + " | ".join(_HEADERS) + " |"]
+        lines.append("|" + "|".join("---" for _ in _HEADERS) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row.cells()) + " |")
+        return "\n".join(lines)
+
+    def diff_against_paper(self) -> list[str]:
+        """Cell-level differences from the published Table I."""
+        differences: list[str] = []
+        for app, expected in EXPECTED_PAPER_TABLE.items():
+            try:
+                actual = self.row_for(app)
+            except KeyError:
+                differences.append(f"{app}: row missing")
+                continue
+            for header, want, got in zip(
+                _HEADERS[1:], expected.cells()[1:], actual.cells()[1:]
+            ):
+                if want != got:
+                    differences.append(
+                        f"{app} / {header}: paper={want!r} measured={got!r}"
+                    )
+        return differences
+
+    @property
+    def matches_paper(self) -> bool:
+        return not self.diff_against_paper()
+
+
+# The published Table I, cell for cell (ground truth for comparisons).
+EXPECTED_PAPER_TABLE: dict[str, TableOneRow] = {
+    row.app: row
+    for row in (
+        TableOneRow("Netflix", FULL, "Encrypted", "Clear", "Clear", "Minimum", FULL),
+        TableOneRow(
+            "Disney+", FULL, "Encrypted", "Encrypted", "Clear", "Minimum", HALF
+        ),
+        TableOneRow(
+            "Amazon Prime Video",
+            FULL + DAGGER,
+            "Encrypted",
+            "Encrypted",
+            "Clear",
+            "Recommended",
+            FULL + DAGGER,
+        ),
+        TableOneRow("Hulu", FULL, "Encrypted", "Encrypted", "-", "-", FULL),
+        TableOneRow(
+            "HBO Max", FULL, "Encrypted", "Encrypted", "Clear", "-", HALF
+        ),
+        TableOneRow("Starz", FULL, "Encrypted", "Encrypted", "-", "Minimum", HALF),
+        TableOneRow("myCanal", FULL, "Encrypted", "Clear", "Clear", "Minimum", FULL),
+        TableOneRow(
+            "Showtime", FULL, "Encrypted", "Encrypted", "Clear", "Minimum", FULL
+        ),
+        TableOneRow("OCS", FULL, "Encrypted", "Encrypted", "Clear", "Minimum", FULL),
+        TableOneRow("Salto", FULL, "Encrypted", "Clear", "Clear", "Minimum", FULL),
+    )
+}
+
+
+def expected_row(app: str) -> TableOneRow:
+    """The paper's row for *app* (KeyError if the paper didn't evaluate it)."""
+    return EXPECTED_PAPER_TABLE[app]

@@ -1,0 +1,51 @@
+"""Static analysis of OTT packages (§IV-B, first prong).
+
+"We decompile the Java classes of the evaluated OTT apps to identify
+some of the included Android classes. More specifically, we scan all
+calls to MediaDrm and MediaCrypto methods that are required within a
+Widevine session." Static results over-approximate (dead code), which
+is why the pipeline pairs them with dynamic monitoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.android.packages import Apk, decompile
+
+__all__ = ["StaticAnalysisReport", "analyze_apk"]
+
+_MEDIADRM_PREFIX = "android.media.MediaDrm"
+_MEDIACRYPTO_PREFIX = "android.media.MediaCrypto"
+_EXOPLAYER_PREFIX = "com.google.android.exoplayer2"
+
+
+@dataclass
+class StaticAnalysisReport:
+    """What decompilation reveals about an app's DRM usage."""
+
+    package: str
+    uses_media_drm: bool = False
+    uses_media_crypto: bool = False
+    uses_exoplayer: bool = False
+    drm_call_sites: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def uses_android_drm_api(self) -> bool:
+        return self.uses_media_drm or self.uses_media_crypto
+
+
+def analyze_apk(apk: Apk) -> StaticAnalysisReport:
+    """Scan the decompiled class list for Android DRM API call sites."""
+    report = StaticAnalysisReport(package=apk.package)
+    for cls in decompile(apk):
+        if cls.name.startswith(_EXOPLAYER_PREFIX):
+            report.uses_exoplayer = True
+        for ref in cls.method_refs:
+            if ref.startswith(_MEDIADRM_PREFIX):
+                report.uses_media_drm = True
+                report.drm_call_sites.append((cls.name, ref))
+            elif ref.startswith(_MEDIACRYPTO_PREFIX):
+                report.uses_media_crypto = True
+                report.drm_call_sites.append((cls.name, ref))
+    return report

@@ -1,0 +1,265 @@
+"""The WideLeak study orchestrator (§IV).
+
+Builds the whole world — network, keybox authority, the ten service
+backends, a current L1 device and a discontinued Nexus 5 — and runs the
+four research questions per app:
+
+- **Q1** from the DRM API monitor during an audited playback;
+- **Q2** from the content-protection audit (URI recovery + account-less
+  downloads + player probes);
+- **Q3** from key-id attribution over the captured manifest and the
+  service metadata endpoint;
+- **Q4** from the legacy-device probe.
+
+Table I is assembled from these *measurements*; nothing is copied from
+profile configuration. :meth:`WideLeakStudy.run_attack` additionally
+executes the §IV-D key-ladder PoC per app.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.android.device import AndroidDevice, nexus_5, pixel_6
+from repro.core.content_audit import ContentAuditor, ContentAuditResult
+from repro.core.key_usage import KeyUsageAnalyzer, KeyUsageReport
+from repro.core.keyladder_attack import KeyLadderAttack, KeyLadderAttackResult
+from repro.core.legacy_probe import (
+    LegacyDeviceProbe,
+    LegacyOutcome,
+    LegacyProbeResult,
+)
+from repro.core.media_recovery import MediaRecoveryPipeline, RecoveredMedia
+from repro.core.report import DAGGER, FAIL, FULL, HALF, TableOne, TableOneRow
+from repro.core.static_analysis import StaticAnalysisReport, analyze_apk
+from repro.license_server.provisioning import KeyboxAuthority
+from repro.media.player import AssetStatus
+from repro.net.network import Network
+from repro.ott.app import OttApp
+from repro.ott.backend import OttBackend
+from repro.ott.profile import OttProfile
+from repro.ott.registry import ALL_PROFILES
+
+__all__ = ["AppStudyResult", "StudyResult", "AttackStudyResult", "WideLeakStudy"]
+
+
+@dataclass
+class AppStudyResult:
+    """All four research-question results for one app."""
+
+    profile: OttProfile
+    static: StaticAnalysisReport
+    audit: ContentAuditResult
+    key_usage: KeyUsageReport
+    legacy: LegacyProbeResult
+
+
+@dataclass
+class AttackStudyResult:
+    """§IV-D outcome for one app."""
+
+    profile: OttProfile
+    attack: KeyLadderAttackResult
+    recovered: RecoveredMedia | None
+
+
+@dataclass
+class StudyResult:
+    """Everything one full study run produced."""
+
+    table: TableOne
+    apps: dict[str, AppStudyResult] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, object]:
+        """The paper's headline counts, computed from measurements."""
+        from repro.media.player import AssetStatus
+
+        audits = {name: app.audit for name, app in self.apps.items()}
+        return {
+            "apps_evaluated": len(self.apps),
+            "apps_using_widevine": sum(
+                1 for a in audits.values() if a.observation.widevine_used
+            ),
+            "apps_with_clear_audio": sorted(
+                name
+                for name, a in audits.items()
+                if a.status_for("audio") is AssetStatus.CLEAR
+            ),
+            "apps_with_encrypted_video": sum(
+                1
+                for a in audits.values()
+                if a.status_for("video") is AssetStatus.ENCRYPTED
+            ),
+            "apps_with_clear_subtitles": sum(
+                1
+                for a in audits.values()
+                if a.status_for("text") is AssetStatus.CLEAR
+            ),
+            "apps_following_recommended_keys": sorted(
+                name
+                for name, app in self.apps.items()
+                if app.key_usage.classification is not None
+                and app.key_usage.classification.value == "Recommended"
+            ),
+            "apps_revoking_legacy_devices": sorted(
+                name
+                for name, app in self.apps.items()
+                if app.legacy.outcome is LegacyOutcome.PROVISIONING_FAILED
+            ),
+            "apps_serving_legacy_devices": sum(
+                1 for app in self.apps.values() if app.legacy.content_delivered
+            ),
+        }
+
+    def to_json(self) -> str:
+        """Machine-readable artifact of the whole run."""
+        import json
+
+        payload = {
+            "summary": self.summary(),
+            "table1": [
+                {
+                    "app": row.app,
+                    "widevine": row.widevine_used,
+                    "video": row.video,
+                    "audio": row.audio,
+                    "subtitles": row.subtitles,
+                    "key_usage": row.key_usage,
+                    "legacy_playback": row.legacy_playback,
+                }
+                for row in self.table.rows
+            ],
+            "matches_paper": self.table.matches_paper,
+            "apps": {
+                name: {
+                    "security_level": app.audit.observation.security_level,
+                    "oecc_calls": app.audit.observation.oecc_call_count,
+                    "secure_channel": app.audit.secure_channel_manifest_recovered,
+                    "legacy_outcome": app.legacy.outcome.value,
+                    "legacy_video_height": app.legacy.video_height,
+                }
+                for name, app in self.apps.items()
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+class WideLeakStudy:
+    """One self-contained instance of the WideLeak experiment."""
+
+    def __init__(self, profiles: tuple[OttProfile, ...] | None = None):
+        self.profiles = profiles if profiles is not None else ALL_PROFILES
+        self.network = Network()
+        self.authority = KeyboxAuthority()
+        self.backends: dict[str, OttBackend] = {
+            profile.service: OttBackend(profile, self.network, self.authority)
+            for profile in self.profiles
+        }
+        # Researcher-controlled (rooted) devices, per the DRM threat model.
+        self.l1_device: AndroidDevice = pixel_6(self.network, self.authority)
+        self.l1_device.rooted = True
+        self.legacy_device: AndroidDevice = nexus_5(self.network, self.authority)
+        self.legacy_device.rooted = True
+
+    @classmethod
+    def with_default_apps(cls) -> "WideLeakStudy":
+        """The paper's setup: all ten premium OTT apps."""
+        return cls()
+
+    # -- single-app pipeline ---------------------------------------------------
+
+    def study_app(self, profile: OttProfile) -> AppStudyResult:
+        backend = self.backends[profile.service]
+
+        app_l1 = OttApp(profile, self.l1_device, backend)
+        static = analyze_apk(app_l1.apk)
+        audit = ContentAuditor(self.l1_device, self.network).audit(app_l1)
+        key_usage = KeyUsageAnalyzer().analyze(app_l1, audit.mpd_bytes)
+
+        app_legacy = OttApp(profile, self.legacy_device, backend)
+        legacy = LegacyDeviceProbe(self.legacy_device).probe(app_legacy)
+
+        return AppStudyResult(
+            profile=profile,
+            static=static,
+            audit=audit,
+            key_usage=key_usage,
+            legacy=legacy,
+        )
+
+    # -- the full study -----------------------------------------------------------
+
+    def run(self) -> StudyResult:
+        result = StudyResult(table=TableOne())
+        for profile in self.profiles:
+            app_result = self.study_app(profile)
+            result.apps[profile.name] = app_result
+            result.table.add(self._to_row(app_result))
+        return result
+
+    @staticmethod
+    def _to_row(app_result: AppStudyResult) -> TableOneRow:
+        audit = app_result.audit
+        legacy = app_result.legacy
+
+        custom_on_l3 = legacy.outcome is LegacyOutcome.PLAYS_CUSTOM_DRM
+        if audit.observation.widevine_used:
+            widevine_cell = FULL + (DAGGER if custom_on_l3 else "")
+        else:
+            widevine_cell = FAIL
+
+        def q2_cell(kind: str) -> str:
+            status = audit.status_for(kind)
+            if status is None:
+                return "-"
+            return {
+                AssetStatus.CLEAR: "Clear",
+                AssetStatus.ENCRYPTED: "Encrypted",
+                AssetStatus.CORRUPT: "Corrupt",
+            }[status]
+
+        key_usage = app_result.key_usage.classification
+        key_cell = key_usage.value if key_usage is not None else "-"
+
+        legacy_cell = {
+            LegacyOutcome.PLAYS: FULL,
+            LegacyOutcome.PLAYS_CUSTOM_DRM: FULL + DAGGER,
+            LegacyOutcome.PROVISIONING_FAILED: HALF,
+            LegacyOutcome.LICENSE_DENIED: HALF,
+            LegacyOutcome.OTHER_FAILURE: FAIL,
+        }[legacy.outcome]
+
+        return TableOneRow(
+            app=app_result.profile.name,
+            widevine_used=widevine_cell,
+            video=q2_cell("video"),
+            audio=q2_cell("audio"),
+            subtitles=q2_cell("text"),
+            key_usage=key_cell,
+            legacy_playback=legacy_cell,
+        )
+
+    # -- §IV-D practical impact ----------------------------------------------------
+
+    def run_attack(self, profile: OttProfile) -> AttackStudyResult:
+        """Key-ladder attack + media reconstruction for one app on the
+        discontinued device."""
+        backend = self.backends[profile.service]
+        app = OttApp(profile, self.legacy_device, backend)
+        attack = KeyLadderAttack(self.legacy_device).run(app)
+
+        recovered: RecoveredMedia | None = None
+        if attack.content_keys:
+            title_id = next(iter(backend.catalog)).title_id
+            packaged = backend.packaged[title_id]
+            mpd_url = f"https://{profile.cdn_host}{packaged.mpd_path}"
+            recovered = MediaRecoveryPipeline(self.network).recover(
+                profile.service, mpd_url, attack.content_keys
+            )
+        return AttackStudyResult(profile=profile, attack=attack, recovered=recovered)
+
+    def run_all_attacks(self) -> dict[str, AttackStudyResult]:
+        """§IV-D across every evaluated app."""
+        return {
+            profile.name: self.run_attack(profile) for profile in self.profiles
+        }

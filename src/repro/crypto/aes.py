@@ -1,0 +1,213 @@
+"""Pure-Python AES block cipher (FIPS 197).
+
+Implements the raw 128-bit block transform for AES-128/192/256. Modes of
+operation live in :mod:`repro.crypto.modes`. The implementation is
+table-based for reasonable throughput on the synthetic media payloads
+used throughout the simulation.
+
+This module is self-contained on purpose: the execution environment has
+no third-party crypto packages, and the Widevine key ladder reproduced
+in :mod:`repro.widevine.keyladder` needs real AES so that recovered keys
+actually decrypt real ciphertext.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AES", "BLOCK_SIZE"]
+
+BLOCK_SIZE = 16
+
+# --- S-box generation -------------------------------------------------
+#
+# The S-box is derived from the multiplicative inverse in GF(2^8)
+# followed by the affine transform, rather than pasted as a literal
+# table, so the construction is auditable.
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the AES polynomial."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    # Multiplicative inverses via exponentiation by 254 (a^254 = a^-1).
+    inverse = [0] * 256
+    for value in range(1, 256):
+        acc = 1
+        base = value
+        exp = 254
+        while exp:
+            if exp & 1:
+                acc = _gf_mul(acc, base)
+            base = _gf_mul(base, base)
+            exp >>= 1
+        inverse[value] = acc
+
+    sbox = bytearray(256)
+    for value in range(256):
+        inv = inverse[value]
+        transformed = 0x63
+        for shift in (0, 1, 2, 3, 4):
+            rotated = ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+            transformed ^= rotated
+        sbox[value] = transformed
+
+    inv_sbox = bytearray(256)
+    for value, substituted in enumerate(sbox):
+        inv_sbox[substituted] = value
+    return bytes(sbox), bytes(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+# Round constants for the key schedule.
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_gf_mul(_RCON[-1], 2))
+
+# Precomputed multiplication tables for MixColumns / InvMixColumns.
+_MUL2 = bytes(_gf_mul(x, 2) for x in range(256))
+_MUL3 = bytes(_gf_mul(x, 3) for x in range(256))
+_MUL9 = bytes(_gf_mul(x, 9) for x in range(256))
+_MUL11 = bytes(_gf_mul(x, 11) for x in range(256))
+_MUL13 = bytes(_gf_mul(x, 13) for x in range(256))
+_MUL14 = bytes(_gf_mul(x, 14) for x in range(256))
+
+_ROUNDS_BY_KEY_LEN = {16: 10, 24: 12, 32: 14}
+
+
+class AES:
+    """Raw AES block transform bound to one expanded key.
+
+    >>> cipher = AES(bytes(16))
+    >>> cipher.decrypt_block(cipher.encrypt_block(b"sixteen byte msg"))
+    b'sixteen byte msg'
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) not in _ROUNDS_BY_KEY_LEN:
+            raise ValueError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+            )
+        self._key = bytes(key)
+        self._rounds = _ROUNDS_BY_KEY_LEN[len(key)]
+        self._round_keys = self._expand_key(self._key)
+
+    @property
+    def key(self) -> bytes:
+        return self._key
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        """Expand the key into (rounds + 1) 16-byte round keys.
+
+        Round keys are stored as flat lists of 16 ints for fast
+        per-block XOR.
+        """
+        key_words = [list(key[i : i + 4]) for i in range(0, len(key), 4)]
+        nk = len(key_words)
+        total_words = 4 * (self._rounds + 1)
+        words = list(key_words)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        round_keys = []
+        for r in range(self._rounds + 1):
+            flat: list[int] = []
+            for w in words[4 * r : 4 * r + 4]:
+                flat.extend(w)
+            round_keys.append(flat)
+        return round_keys
+
+    # The state is kept as a flat list of 16 bytes in column-major
+    # order, matching the FIPS 197 byte numbering: state[r + 4*c].
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        rk = self._round_keys
+        s = [block[i] ^ rk[0][i] for i in range(16)]
+        for rnd in range(1, self._rounds):
+            s = self._encrypt_round(s, rk[rnd])
+        return bytes(self._final_round(s, rk[self._rounds]))
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        rk = self._round_keys
+        s = [block[i] ^ rk[self._rounds][i] for i in range(16)]
+        for rnd in range(self._rounds - 1, 0, -1):
+            s = self._decrypt_round(s, rk[rnd])
+        # Final: InvShiftRows + InvSubBytes + AddRoundKey.
+        out = bytearray(16)
+        for c in range(4):
+            for r in range(4):
+                src = (c - r) % 4
+                out[r + 4 * c] = _INV_SBOX[s[r + 4 * src]] ^ rk[0][r + 4 * c]
+        return bytes(out)
+
+    @staticmethod
+    def _encrypt_round(s: list[int], round_key: list[int]) -> list[int]:
+        """One full round: SubBytes, ShiftRows, MixColumns, AddRoundKey."""
+        out = [0] * 16
+        sbox, mul2, mul3 = _SBOX, _MUL2, _MUL3
+        for c in range(4):
+            # ShiftRows folded into the source indices.
+            b0 = sbox[s[0 + 4 * c]]
+            b1 = sbox[s[1 + 4 * ((c + 1) % 4)]]
+            b2 = sbox[s[2 + 4 * ((c + 2) % 4)]]
+            b3 = sbox[s[3 + 4 * ((c + 3) % 4)]]
+            base = 4 * c
+            out[base + 0] = mul2[b0] ^ mul3[b1] ^ b2 ^ b3 ^ round_key[base + 0]
+            out[base + 1] = b0 ^ mul2[b1] ^ mul3[b2] ^ b3 ^ round_key[base + 1]
+            out[base + 2] = b0 ^ b1 ^ mul2[b2] ^ mul3[b3] ^ round_key[base + 2]
+            out[base + 3] = mul3[b0] ^ b1 ^ b2 ^ mul2[b3] ^ round_key[base + 3]
+        return out
+
+    @staticmethod
+    def _final_round(s: list[int], round_key: list[int]) -> bytearray:
+        """Last round: SubBytes, ShiftRows, AddRoundKey (no MixColumns)."""
+        out = bytearray(16)
+        for c in range(4):
+            for r in range(4):
+                src = (c + r) % 4
+                out[r + 4 * c] = _SBOX[s[r + 4 * src]] ^ round_key[r + 4 * c]
+        return out
+
+    @staticmethod
+    def _decrypt_round(s: list[int], round_key: list[int]) -> list[int]:
+        """One inverse round: InvShiftRows, InvSubBytes, AddRoundKey,
+        InvMixColumns (equivalent-inverse-cipher ordering)."""
+        t = [0] * 16
+        for c in range(4):
+            for r in range(4):
+                src = (c - r) % 4
+                t[r + 4 * c] = _INV_SBOX[s[r + 4 * src]] ^ round_key[r + 4 * c]
+        out = [0] * 16
+        m9, m11, m13, m14 = _MUL9, _MUL11, _MUL13, _MUL14
+        for c in range(4):
+            base = 4 * c
+            b0, b1, b2, b3 = t[base], t[base + 1], t[base + 2], t[base + 3]
+            out[base + 0] = m14[b0] ^ m11[b1] ^ m13[b2] ^ m9[b3]
+            out[base + 1] = m9[b0] ^ m14[b1] ^ m11[b2] ^ m13[b3]
+            out[base + 2] = m13[b0] ^ m9[b1] ^ m14[b2] ^ m11[b3]
+            out[base + 3] = m11[b0] ^ m13[b1] ^ m9[b2] ^ m14[b3]
+        return out

@@ -1,0 +1,145 @@
+"""Block-cipher modes of operation and padding.
+
+Provides ECB, CBC and CTR over the raw AES transform, plus PKCS#7
+padding. CTR is the mode CENC's ``cenc`` protection scheme uses
+(ISO/IEC 23001-7), with the 16-byte counter block formed from an 8- or
+16-byte IV; the helpers here accept both layouts.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+
+__all__ = [
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "ecb_encrypt",
+    "ecb_decrypt",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "ctr_transform",
+    "xor_bytes",
+]
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Append PKCS#7 padding up to a multiple of *block_size*."""
+    if not 0 < block_size < 256:
+        raise ValueError("block_size must be in 1..255")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Strip and validate PKCS#7 padding.
+
+    Raises :class:`ValueError` on malformed padding — deliberately, so
+    the license-server simulation can reject tampered blobs the way a
+    real implementation would.
+    """
+    if not data or len(data) % block_size:
+        raise ValueError("data length is not a multiple of the block size")
+    pad_len = data[-1]
+    if not 0 < pad_len <= block_size:
+        raise ValueError("invalid padding length")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise ValueError("invalid padding bytes")
+    return data[:-pad_len]
+
+
+def ecb_encrypt(key: bytes, plaintext: bytes) -> bytes:
+    """AES-ECB over already block-aligned *plaintext* (no padding)."""
+    if len(plaintext) % BLOCK_SIZE:
+        raise ValueError("ECB input must be block aligned")
+    cipher = AES(key)
+    return b"".join(
+        cipher.encrypt_block(plaintext[i : i + BLOCK_SIZE])
+        for i in range(0, len(plaintext), BLOCK_SIZE)
+    )
+
+
+def ecb_decrypt(key: bytes, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`ecb_encrypt`."""
+    if len(ciphertext) % BLOCK_SIZE:
+        raise ValueError("ECB input must be block aligned")
+    cipher = AES(key)
+    return b"".join(
+        cipher.decrypt_block(ciphertext[i : i + BLOCK_SIZE])
+        for i in range(0, len(ciphertext), BLOCK_SIZE)
+    )
+
+
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes, *, pad: bool = True) -> bytes:
+    """AES-CBC; pads with PKCS#7 unless ``pad=False``."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError("CBC IV must be 16 bytes")
+    if pad:
+        plaintext = pkcs7_pad(plaintext)
+    elif len(plaintext) % BLOCK_SIZE:
+        raise ValueError("unpadded CBC input must be block aligned")
+    cipher = AES(key)
+    out = bytearray()
+    previous = iv
+    for i in range(0, len(plaintext), BLOCK_SIZE):
+        block = xor_bytes(plaintext[i : i + BLOCK_SIZE], previous)
+        previous = cipher.encrypt_block(block)
+        out.extend(previous)
+    return bytes(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes, *, pad: bool = True) -> bytes:
+    """Inverse of :func:`cbc_encrypt`."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError("CBC IV must be 16 bytes")
+    if len(ciphertext) % BLOCK_SIZE:
+        raise ValueError("CBC ciphertext must be block aligned")
+    cipher = AES(key)
+    out = bytearray()
+    previous = iv
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[i : i + BLOCK_SIZE]
+        out.extend(xor_bytes(cipher.decrypt_block(block), previous))
+        previous = block
+    plaintext = bytes(out)
+    return pkcs7_unpad(plaintext) if pad else plaintext
+
+
+def _counter_block(iv: bytes, block_index: int) -> bytes:
+    """Build the CTR counter block for *block_index*.
+
+    A 16-byte IV is treated as a big-endian 128-bit initial counter
+    (CENC layout); an 8-byte IV occupies the high half with a 64-bit
+    big-endian block counter in the low half.
+    """
+    if len(iv) == 16:
+        counter = (int.from_bytes(iv, "big") + block_index) % (1 << 128)
+        return counter.to_bytes(16, "big")
+    if len(iv) == 8:
+        return iv + (block_index % (1 << 64)).to_bytes(8, "big")
+    raise ValueError("CTR IV must be 8 or 16 bytes")
+
+
+def ctr_transform(
+    key: bytes, iv: bytes, data: bytes, *, initial_block: int = 0
+) -> bytes:
+    """AES-CTR keystream XOR (encryption and decryption are identical).
+
+    ``initial_block`` offsets the counter, which CENC subsample
+    decryption needs when a sample's protected ranges resume mid-stream.
+    """
+    cipher = AES(key)
+    out = bytearray(len(data))
+    for i in range(0, len(data), BLOCK_SIZE):
+        keystream = cipher.encrypt_block(
+            _counter_block(iv, initial_block + i // BLOCK_SIZE)
+        )
+        chunk = data[i : i + BLOCK_SIZE]
+        for j, byte in enumerate(chunk):
+            out[i + j] = byte ^ keystream[j]
+    return bytes(out)

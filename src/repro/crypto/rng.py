@@ -1,0 +1,80 @@
+"""Deterministic randomness for the whole simulation.
+
+Every component that needs "random" bytes (key generation, IVs, nonces,
+session ids) draws from an :class:`HmacDrbg` seeded with a component-
+specific label. This keeps the entire study — Table I, the key-ladder
+attack, the benchmarks — bit-for-bit reproducible across runs, which the
+paper's artifact also aims for.
+
+The DRBG follows NIST SP 800-90A HMAC_DRBG (SHA-256) without
+prediction resistance; it is *not* intended as a secure RNG, only as a
+faithful deterministic stand-in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+__all__ = ["HmacDrbg", "derive_rng"]
+
+
+class HmacDrbg:
+    """NIST SP 800-90A HMAC_DRBG over SHA-256."""
+
+    def __init__(self, seed: bytes):
+        self._key = b"\x00" * 32
+        self._value = b"\x01" * 32
+        self._reseed_counter = 1
+        self._update(seed)
+
+    def _hmac(self, key: bytes, data: bytes) -> bytes:
+        return hmac.new(key, data, hashlib.sha256).digest()
+
+    def _update(self, provided: bytes | None) -> None:
+        self._key = self._hmac(self._key, self._value + b"\x00" + (provided or b""))
+        self._value = self._hmac(self._key, self._value)
+        if provided:
+            self._key = self._hmac(self._key, self._value + b"\x01" + provided)
+            self._value = self._hmac(self._key, self._value)
+
+    def reseed(self, data: bytes) -> None:
+        """Mix additional entropy (used to diversify per-session)."""
+        self._update(data)
+        self._reseed_counter = 1
+
+    def generate(self, num_bytes: int) -> bytes:
+        """Return *num_bytes* of deterministic pseudo-random output."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        output = bytearray()
+        while len(output) < num_bytes:
+            self._value = self._hmac(self._key, self._value)
+            output.extend(self._value)
+        self._update(None)
+        self._reseed_counter += 1
+        return bytes(output[:num_bytes])
+
+    def randint_below(self, upper: int) -> int:
+        """Uniform integer in ``[0, upper)`` via rejection sampling."""
+        if upper <= 0:
+            raise ValueError("upper must be positive")
+        nbytes = (upper.bit_length() + 7) // 8
+        while True:
+            candidate = int.from_bytes(self.generate(nbytes), "big")
+            if candidate < (256**nbytes // upper) * upper:
+                return candidate % upper
+
+    def rand_odd(self, bits: int) -> int:
+        """Random odd integer with exactly *bits* bits (for prime search)."""
+        if bits < 2:
+            raise ValueError("bits must be >= 2")
+        raw = int.from_bytes(self.generate((bits + 7) // 8), "big")
+        raw |= 1 << (bits - 1)
+        raw |= 1
+        return raw & ((1 << bits) - 1)
+
+
+def derive_rng(label: str, *, seed: bytes = b"wideleak-repro") -> HmacDrbg:
+    """Create a DRBG namespaced by *label* from the global seed."""
+    return HmacDrbg(seed + b"/" + label.encode())

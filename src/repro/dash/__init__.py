@@ -1,0 +1,37 @@
+"""MPEG-DASH substrate: MPD model and packaging/streaming helpers."""
+
+from repro.dash.client import (
+    MAX_HEIGHT_BY_LEVEL,
+    TrackSelection,
+    TrackSelectionError,
+    TrackSelector,
+    extract_widevine_init_data,
+)
+from repro.dash.mpd import (
+    CENC_SCHEME_URI,
+    WIDEVINE_SCHEME_URI,
+    AdaptationSet,
+    ContentProtectionTag,
+    Mpd,
+    MpdParseError,
+    MpdRepresentation,
+)
+from repro.dash.packager import PackagedTitle, Packager, TrackCrypto
+
+__all__ = [
+    "MAX_HEIGHT_BY_LEVEL",
+    "TrackSelection",
+    "TrackSelectionError",
+    "TrackSelector",
+    "extract_widevine_init_data",
+    "CENC_SCHEME_URI",
+    "WIDEVINE_SCHEME_URI",
+    "AdaptationSet",
+    "ContentProtectionTag",
+    "Mpd",
+    "MpdParseError",
+    "MpdRepresentation",
+    "PackagedTitle",
+    "Packager",
+    "TrackCrypto",
+]

@@ -1,0 +1,117 @@
+"""DASH client-side helpers — the ExoPlayer analogue.
+
+§IV "Insights": "many apps call DRM API through ExoPlayer as
+recommended by Widevine". This module captures the player-library half
+of that: track selection over a parsed MPD (resolution capping by
+security level, language matching) and extraction of the DRM init data
+a `MediaDrm` session needs. The OTT app models delegate here, the same
+way real apps delegate to ExoPlayer's ``DefaultTrackSelector`` and
+``DefaultDrmSessionManager``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bmff.boxes import PsshBox, parse_boxes
+from repro.dash.mpd import Mpd, MpdRepresentation, WIDEVINE_SCHEME_URI
+
+__all__ = [
+    "MAX_HEIGHT_BY_LEVEL",
+    "TrackSelection",
+    "TrackSelectionError",
+    "TrackSelector",
+    "extract_widevine_init_data",
+]
+
+# The resolution ceilings ExoPlayer-era apps apply per Widevine level:
+# HD requires hardware-backed L1.
+MAX_HEIGHT_BY_LEVEL = {"L1": 1080, "L2": 540, "L3": 540}
+
+
+class TrackSelectionError(ValueError):
+    """No representation satisfies the selection constraints."""
+
+
+@dataclass(frozen=True)
+class TrackSelection:
+    """The representations chosen for one playback."""
+
+    video: MpdRepresentation
+    audio: MpdRepresentation
+    text: MpdRepresentation | None
+
+
+class TrackSelector:
+    """Selects representations from a manifest, ExoPlayer-style."""
+
+    def __init__(self, mpd: Mpd):
+        self.mpd = mpd
+
+    def select_video(self, *, max_height: int) -> MpdRepresentation:
+        """Highest video rung within the ceiling."""
+        candidates = [
+            rep
+            for aset in self.mpd.sets_of_type("video")
+            for rep in aset.representations
+            if (rep.height or 0) <= max_height
+        ]
+        if not candidates:
+            raise TrackSelectionError(
+                f"no playable video representation under {max_height}p"
+            )
+        return max(candidates, key=lambda rep: rep.height or 0)
+
+    def select_audio(self, language: str) -> MpdRepresentation:
+        for aset in self.mpd.sets_of_type("audio"):
+            if aset.lang == language and aset.representations:
+                return aset.representations[0]
+        raise TrackSelectionError(
+            f"no audio representation for language {language!r}"
+        )
+
+    def select_text(self, language: str) -> MpdRepresentation | None:
+        """Subtitles are optional: None when the manifest lists none."""
+        for aset in self.mpd.sets_of_type("text"):
+            if aset.lang == language and aset.representations:
+                return aset.representations[0]
+        return None
+
+    def select(
+        self,
+        *,
+        security_level: str,
+        audio_language: str,
+        text_language: str | None = None,
+    ) -> TrackSelection:
+        """One-call selection for a playback session."""
+        max_height = MAX_HEIGHT_BY_LEVEL.get(security_level, 540)
+        return TrackSelection(
+            video=self.select_video(max_height=max_height),
+            audio=self.select_audio(audio_language),
+            text=(
+                self.select_text(text_language)
+                if text_language is not None
+                else None
+            ),
+        )
+
+    def init_data_for(self, rep: MpdRepresentation) -> bytes:
+        """Widevine PSSH init data for a representation (set- or
+        rep-level ``ContentProtection``)."""
+        for aset in self.mpd.adaptation_sets:
+            if rep in aset.representations:
+                data = extract_widevine_init_data(aset.all_protections(rep))
+                if data is not None:
+                    return data
+        raise TrackSelectionError(f"no Widevine init data for {rep.rep_id}")
+
+
+def extract_widevine_init_data(protections) -> bytes | None:
+    """Pull the Widevine PSSH payload out of ContentProtection tags."""
+    for tag in protections:
+        if tag.scheme_id_uri == WIDEVINE_SCHEME_URI and tag.pssh_bytes:
+            boxes = parse_boxes(tag.pssh_bytes)
+            if boxes and isinstance(boxes[0], PsshBox):
+                return boxes[0].data
+    return None

@@ -1,0 +1,260 @@
+"""MPEG-DASH Media Presentation Description (MPD) model.
+
+Implements the subset of ISO/IEC 23009-1 the study needs: a single
+period with adaptation sets per track type, ``SegmentList`` addressing,
+and ``ContentProtection`` descriptors carrying both the generic CENC
+``default_KID`` and the Widevine PSSH payload. Serializes to and parses
+from real XML — the audit pipeline works on captured MPD *bytes*, like
+the paper's network interception does.
+"""
+
+from __future__ import annotations
+
+import base64
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CENC_SCHEME_URI",
+    "WIDEVINE_SCHEME_URI",
+    "ContentProtectionTag",
+    "MpdRepresentation",
+    "AdaptationSet",
+    "Mpd",
+    "MpdParseError",
+]
+
+CENC_SCHEME_URI = "urn:mpeg:dash:mp4protection:2011"
+WIDEVINE_SCHEME_URI = "urn:uuid:edef8ba9-79d6-4ace-a3c8-27dcd51d21ed"
+
+_MPD_NS = "urn:mpeg:dash:schema:mpd:2011"
+_CENC_NS = "urn:mpeg:cenc:2013"
+
+
+class MpdParseError(ValueError):
+    """Raised when MPD XML is structurally invalid."""
+
+
+def _format_kid(kid: bytes) -> str:
+    h = kid.hex()
+    return f"{h[:8]}-{h[8:12]}-{h[12:16]}-{h[16:20]}-{h[20:]}"
+
+
+def _parse_kid(text: str) -> bytes:
+    cleaned = text.replace("-", "").strip()
+    try:
+        kid = bytes.fromhex(cleaned)
+    except ValueError:
+        raise MpdParseError(f"bad default_KID {text!r}") from None
+    if len(kid) != 16:
+        raise MpdParseError(f"bad default_KID {text!r}")
+    return kid
+
+
+@dataclass
+class ContentProtectionTag:
+    """One ``<ContentProtection>`` descriptor."""
+
+    scheme_id_uri: str
+    value: str = ""
+    default_kid: bytes | None = None
+    pssh_b64: str | None = None
+
+    @classmethod
+    def cenc(cls, default_kid: bytes) -> "ContentProtectionTag":
+        return cls(
+            scheme_id_uri=CENC_SCHEME_URI, value="cenc", default_kid=default_kid
+        )
+
+    @classmethod
+    def widevine(cls, pssh_bytes: bytes) -> "ContentProtectionTag":
+        return cls(
+            scheme_id_uri=WIDEVINE_SCHEME_URI,
+            pssh_b64=base64.b64encode(pssh_bytes).decode(),
+        )
+
+    @property
+    def pssh_bytes(self) -> bytes | None:
+        if self.pssh_b64 is None:
+            return None
+        return base64.b64decode(self.pssh_b64)
+
+
+@dataclass
+class MpdRepresentation:
+    """One ``<Representation>`` with SegmentList addressing."""
+
+    rep_id: str
+    bandwidth_kbps: int
+    codecs: str
+    mime_type: str
+    init_url: str
+    segment_urls: list[str] = field(default_factory=list)
+    width: int | None = None
+    height: int | None = None
+    content_protections: list[ContentProtectionTag] = field(default_factory=list)
+
+    @property
+    def protected(self) -> bool:
+        return bool(self.content_protections)
+
+    def default_kid(self) -> bytes | None:
+        for tag in self.content_protections:
+            if tag.default_kid is not None:
+                return tag.default_kid
+        return None
+
+
+@dataclass
+class AdaptationSet:
+    """One ``<AdaptationSet>`` grouping same-type representations."""
+
+    content_type: str  # "video" | "audio" | "text"
+    lang: str | None = None
+    representations: list[MpdRepresentation] = field(default_factory=list)
+    content_protections: list[ContentProtectionTag] = field(default_factory=list)
+
+    def all_protections(self, rep: MpdRepresentation) -> list[ContentProtectionTag]:
+        """Set-level plus representation-level protection descriptors."""
+        return list(self.content_protections) + list(rep.content_protections)
+
+
+@dataclass
+class Mpd:
+    """A whole manifest (single period)."""
+
+    title_id: str
+    duration_s: int
+    adaptation_sets: list[AdaptationSet] = field(default_factory=list)
+
+    def sets_of_type(self, content_type: str) -> list[AdaptationSet]:
+        return [s for s in self.adaptation_sets if s.content_type == content_type]
+
+    # --- XML serialization -------------------------------------------
+
+    def to_xml(self) -> bytes:
+        ET.register_namespace("", _MPD_NS)
+        ET.register_namespace("cenc", _CENC_NS)
+        root = ET.Element(
+            f"{{{_MPD_NS}}}MPD",
+            {
+                "type": "static",
+                "mediaPresentationDuration": f"PT{self.duration_s}S",
+                "id": self.title_id,
+            },
+        )
+        period = ET.SubElement(root, f"{{{_MPD_NS}}}Period", {"id": "0"})
+        for aset in self.adaptation_sets:
+            attrs = {"contentType": aset.content_type}
+            if aset.lang:
+                attrs["lang"] = aset.lang
+            aset_el = ET.SubElement(period, f"{{{_MPD_NS}}}AdaptationSet", attrs)
+            for tag in aset.content_protections:
+                self._emit_protection(aset_el, tag)
+            for rep in aset.representations:
+                rep_attrs = {
+                    "id": rep.rep_id,
+                    "bandwidth": str(rep.bandwidth_kbps * 1000),
+                    "codecs": rep.codecs,
+                    "mimeType": rep.mime_type,
+                }
+                if rep.width is not None:
+                    rep_attrs["width"] = str(rep.width)
+                if rep.height is not None:
+                    rep_attrs["height"] = str(rep.height)
+                rep_el = ET.SubElement(
+                    aset_el, f"{{{_MPD_NS}}}Representation", rep_attrs
+                )
+                for tag in rep.content_protections:
+                    self._emit_protection(rep_el, tag)
+                seg_list = ET.SubElement(rep_el, f"{{{_MPD_NS}}}SegmentList")
+                ET.SubElement(
+                    seg_list,
+                    f"{{{_MPD_NS}}}Initialization",
+                    {"sourceURL": rep.init_url},
+                )
+                for url in rep.segment_urls:
+                    ET.SubElement(
+                        seg_list, f"{{{_MPD_NS}}}SegmentURL", {"media": url}
+                    )
+        return ET.tostring(root, encoding="utf-8", xml_declaration=True)
+
+    @staticmethod
+    def _emit_protection(parent: ET.Element, tag: ContentProtectionTag) -> None:
+        attrs = {"schemeIdUri": tag.scheme_id_uri}
+        if tag.value:
+            attrs["value"] = tag.value
+        if tag.default_kid is not None:
+            attrs[f"{{{_CENC_NS}}}default_KID"] = _format_kid(tag.default_kid)
+        el = ET.SubElement(parent, f"{{{_MPD_NS}}}ContentProtection", attrs)
+        if tag.pssh_b64 is not None:
+            pssh_el = ET.SubElement(el, f"{{{_CENC_NS}}}pssh")
+            pssh_el.text = tag.pssh_b64
+
+    # --- XML parsing --------------------------------------------------
+
+    @classmethod
+    def from_xml(cls, data: bytes) -> "Mpd":
+        try:
+            root = ET.fromstring(data)
+        except ET.ParseError as exc:
+            raise MpdParseError(f"bad MPD XML: {exc}") from exc
+        if root.tag != f"{{{_MPD_NS}}}MPD":
+            raise MpdParseError(f"unexpected root element {root.tag!r}")
+        duration_raw = root.get("mediaPresentationDuration", "PT0S")
+        duration_s = int(float(duration_raw.removeprefix("PT").removesuffix("S")))
+        mpd = cls(title_id=root.get("id", ""), duration_s=duration_s)
+
+        period = root.find(f"{{{_MPD_NS}}}Period")
+        if period is None:
+            raise MpdParseError("MPD has no Period")
+        for aset_el in period.findall(f"{{{_MPD_NS}}}AdaptationSet"):
+            aset = AdaptationSet(
+                content_type=aset_el.get("contentType", ""),
+                lang=aset_el.get("lang"),
+                content_protections=cls._parse_protections(aset_el),
+            )
+            for rep_el in aset_el.findall(f"{{{_MPD_NS}}}Representation"):
+                seg_list = rep_el.find(f"{{{_MPD_NS}}}SegmentList")
+                if seg_list is None:
+                    raise MpdParseError("Representation lacks SegmentList")
+                init_el = seg_list.find(f"{{{_MPD_NS}}}Initialization")
+                if init_el is None:
+                    raise MpdParseError("SegmentList lacks Initialization")
+                rep = MpdRepresentation(
+                    rep_id=rep_el.get("id", ""),
+                    bandwidth_kbps=int(rep_el.get("bandwidth", "0")) // 1000,
+                    codecs=rep_el.get("codecs", ""),
+                    mime_type=rep_el.get("mimeType", ""),
+                    init_url=init_el.get("sourceURL", ""),
+                    segment_urls=[
+                        seg.get("media", "")
+                        for seg in seg_list.findall(f"{{{_MPD_NS}}}SegmentURL")
+                    ],
+                    width=_int_or_none(rep_el.get("width")),
+                    height=_int_or_none(rep_el.get("height")),
+                    content_protections=cls._parse_protections(rep_el),
+                )
+                aset.representations.append(rep)
+            mpd.adaptation_sets.append(aset)
+        return mpd
+
+    @staticmethod
+    def _parse_protections(parent: ET.Element) -> list[ContentProtectionTag]:
+        tags: list[ContentProtectionTag] = []
+        for el in parent.findall(f"{{{_MPD_NS}}}ContentProtection"):
+            kid_attr = el.get(f"{{{_CENC_NS}}}default_KID")
+            pssh_el = el.find(f"{{{_CENC_NS}}}pssh")
+            tags.append(
+                ContentProtectionTag(
+                    scheme_id_uri=el.get("schemeIdUri", ""),
+                    value=el.get("value", ""),
+                    default_kid=_parse_kid(kid_attr) if kid_attr else None,
+                    pssh_b64=pssh_el.text if pssh_el is not None else None,
+                )
+            )
+        return tags
+
+
+def _int_or_none(raw: str | None) -> int | None:
+    return int(raw) if raw is not None else None

@@ -1,0 +1,28 @@
+"""Frida-like instrumentation: process attach, function interception,
+buffer dumps, memory scanning and stock hook scripts."""
+
+from repro.instrumentation.frida import CallRecord, FridaSession, Hook
+from repro.instrumentation.hooks import (
+    BufferDump,
+    OeccMonitor,
+    disable_ssl_pinning,
+)
+from repro.instrumentation.memscan import (
+    MemoryMatch,
+    find_whitebox_mask,
+    scan_for_keybox,
+    scan_for_pattern,
+)
+
+__all__ = [
+    "CallRecord",
+    "FridaSession",
+    "Hook",
+    "BufferDump",
+    "OeccMonitor",
+    "disable_ssl_pinning",
+    "MemoryMatch",
+    "find_whitebox_mask",
+    "scan_for_keybox",
+    "scan_for_pattern",
+]

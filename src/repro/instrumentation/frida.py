@@ -1,0 +1,193 @@
+"""Dynamic instrumentation — the study's Frida analogue.
+
+"We leverage Frida to hook CDM calls" (§IV-B): a session attaches to a
+process, enumerates its loaded modules, and intercepts functions by
+name pattern, observing arguments and return values. Hooks attach to
+the *DRM process*, not the app — which is why the apps' anti-debugging
+and SafetyNet checks never fire (§V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.android.device import AndroidDevice
+from repro.android.process import Process
+
+__all__ = ["CallRecord", "FridaSession", "Hook"]
+
+
+@dataclass
+class CallRecord:
+    """One intercepted call."""
+
+    module: str
+    function: str
+    args: tuple[Any, ...]
+    kwargs: dict[str, Any]
+    retval: Any = None
+    error: str | None = None
+
+
+@dataclass
+class Hook:
+    """One installed interception point."""
+
+    module: str
+    function: str
+    target: object
+    original: Callable[..., Any]
+    on_enter: Callable[[CallRecord], None] | None = None
+    on_leave: Callable[[CallRecord], None] | None = None
+
+
+class FridaSession:
+    """An instrumentation session attached to one process."""
+
+    def __init__(self, device: AndroidDevice, process: Process):
+        self.device = device
+        self.process = process
+        self.records: list[CallRecord] = []
+        self._hooks: list[Hook] = []
+        self._attached = True
+        process.attached_instruments.append("frida")
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def attach(cls, device: AndroidDevice, process_name: str) -> "FridaSession":
+        """Attach to a process by name (requires a rooted device)."""
+        if not device.rooted:
+            raise PermissionError(
+                "attaching to another process requires a rooted device"
+            )
+        return cls(device, device.find_process(process_name))
+
+    def detach(self) -> None:
+        """Remove every hook and release the process."""
+        for hook in reversed(self._hooks):
+            try:
+                delattr(hook.target, hook.function)
+            except AttributeError:
+                pass
+        self._hooks.clear()
+        if self._attached:
+            self.process.attached_instruments.remove("frida")
+            self._attached = False
+
+    def __enter__(self) -> "FridaSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.detach()
+
+    # -- hooking ----------------------------------------------------------------
+
+    def enumerate_module_functions(self, pattern: str = "") -> list[tuple[str, str]]:
+        """(module, function) pairs whose function name starts with
+        *pattern*, across all loaded modules."""
+        found: list[tuple[str, str]] = []
+        for module_name, implementation in self.process.modules.items():
+            for attr in dir(implementation):
+                if pattern and not attr.startswith(pattern):
+                    continue
+                if callable(getattr(implementation, attr, None)):
+                    found.append((module_name, attr))
+        return sorted(found)
+
+    def hook_function(
+        self,
+        module_name: str,
+        function_name: str,
+        *,
+        on_enter: Callable[[CallRecord], None] | None = None,
+        on_leave: Callable[[CallRecord], None] | None = None,
+    ) -> Hook:
+        """Intercept one function of one module."""
+        if not self._attached:
+            raise RuntimeError("session is detached")
+        implementation = self.process.module(module_name)
+        original = getattr(implementation, function_name)
+        if not callable(original):
+            raise TypeError(f"{module_name}:{function_name} is not callable")
+
+        records = self.records
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            record = CallRecord(
+                module=module_name,
+                function=function_name,
+                args=args,
+                kwargs=dict(kwargs),
+            )
+            if on_enter is not None:
+                on_enter(record)
+            try:
+                record.retval = original(*args, **kwargs)
+            except Exception as exc:
+                record.error = f"{type(exc).__name__}: {exc}"
+                records.append(record)
+                if on_leave is not None:
+                    on_leave(record)
+                raise
+            records.append(record)
+            if on_leave is not None:
+                on_leave(record)
+            return record.retval
+
+        setattr(implementation, function_name, wrapper)
+        hook = Hook(
+            module=module_name,
+            function=function_name,
+            target=implementation,
+            original=original,
+            on_enter=on_enter,
+            on_leave=on_leave,
+        )
+        self._hooks.append(hook)
+        return hook
+
+    def hook_pattern(
+        self,
+        pattern: str,
+        *,
+        on_enter: Callable[[CallRecord], None] | None = None,
+        on_leave: Callable[[CallRecord], None] | None = None,
+    ) -> list[Hook]:
+        """Hook every module function starting with *pattern*.
+
+        Objects loaded under several module aliases are hooked once,
+        under the first alias seen.
+        """
+        hooks: list[Hook] = []
+        seen_targets: set[int] = set()
+        for module_name, function_name in self.enumerate_module_functions(pattern):
+            implementation = self.process.module(module_name)
+            key = id(implementation)
+            if key in seen_targets and any(
+                h.function == function_name and h.target is implementation
+                for h in hooks
+            ):
+                continue
+            seen_targets.add(key)
+            hooks.append(
+                self.hook_function(
+                    module_name,
+                    function_name,
+                    on_enter=on_enter,
+                    on_leave=on_leave,
+                )
+            )
+        return hooks
+
+    # -- convenience ---------------------------------------------------------------
+
+    def calls_to(self, function_prefix: str) -> list[CallRecord]:
+        return [r for r in self.records if r.function.startswith(function_prefix)]
+
+    def modules_with_calls(self) -> set[str]:
+        return {r.module for r in self.records}
+
+    def clear_records(self) -> None:
+        self.records.clear()

@@ -1,0 +1,84 @@
+"""Process-memory scanning.
+
+§IV-D: "By dynamically monitoring memory regions that are used during
+obfuscated cryptographic operations within libwvdrmengine.so, we
+searched for specific keybox structure (e.g., magic number). Thus, we
+succeeded in recovering the L3 keybox". This module implements the two
+scans the PoC needs: a structural keybox scan and a whitebox mask-table
+scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.android.process import Process
+from repro.widevine.keybox import KEYBOX_MAGIC, KEYBOX_SIZE, Keybox
+from repro.widevine.storage import WHITEBOX_TABLE_MAGIC
+
+__all__ = ["MemoryMatch", "scan_for_pattern", "scan_for_keybox", "find_whitebox_mask"]
+
+# Offset of the magic inside the keybox structure.
+_MAGIC_OFFSET = 120
+
+
+@dataclass(frozen=True)
+class MemoryMatch:
+    """One pattern hit inside a process region."""
+
+    region: str
+    offset: int
+    data: bytes
+
+
+def scan_for_pattern(process: Process, pattern: bytes) -> list[MemoryMatch]:
+    """Find every occurrence of *pattern* in readable regions."""
+    if not pattern:
+        raise ValueError("empty pattern")
+    matches: list[MemoryMatch] = []
+    for region in process.readable_regions():
+        start = 0
+        blob = bytes(region.data)
+        while True:
+            index = blob.find(pattern, start)
+            if index < 0:
+                break
+            matches.append(
+                MemoryMatch(region=region.name, offset=index, data=pattern)
+            )
+            start = index + 1
+    return matches
+
+
+def scan_for_keybox(process: Process) -> list[MemoryMatch]:
+    """Structural keybox scan: magic hits whose surrounding 128 bytes
+    parse as a keybox (magic at offset 120, valid CRC)."""
+    matches: list[MemoryMatch] = []
+    for hit in scan_for_pattern(process, KEYBOX_MAGIC):
+        begin = hit.offset - _MAGIC_OFFSET
+        if begin < 0:
+            continue
+        region = next(r for r in process.readable_regions() if r.name == hit.region)
+        candidate = bytes(region.data[begin : begin + KEYBOX_SIZE])
+        if len(candidate) == KEYBOX_SIZE and Keybox.is_plausible(candidate):
+            matches.append(
+                MemoryMatch(region=hit.region, offset=begin, data=candidate)
+            )
+    return matches
+
+
+def find_whitebox_mask(process: Process) -> bytes | None:
+    """Locate the whitebox constant table and return the 16-byte mask."""
+    hits = scan_for_pattern(process, WHITEBOX_TABLE_MAGIC)
+    for hit in hits:
+        region = next(r for r in process.readable_regions() if r.name == hit.region)
+        mask = bytes(
+            region.data[
+                hit.offset + len(WHITEBOX_TABLE_MAGIC) : hit.offset
+                + len(WHITEBOX_TABLE_MAGIC)
+                + 16
+            ]
+        )
+        if len(mask) == 16:
+            return mask
+    return None

@@ -1,0 +1,50 @@
+"""License infrastructure: protocol messages, service policies, the
+provisioning server (keybox authority) and the license server."""
+
+from repro.license_server.policy import (
+    AudioProtection,
+    KeyUsagePolicy,
+    RevocationPolicy,
+    ServicePolicy,
+    assign_track_crypto,
+)
+from repro.license_server.protocol import (
+    KeyControl,
+    LicenseRequest,
+    LicenseResponse,
+    ProtocolError,
+    ProvisionRequest,
+    ProvisionResponse,
+    WrappedKey,
+    canonical_bytes,
+)
+from repro.license_server.provisioning import (
+    KeyboxAuthority,
+    ProvisioningRecords,
+    ProvisioningServer,
+    device_rsa_key,
+)
+from repro.license_server.server import LicenseServer, RegisteredKey, SessionRecord
+
+__all__ = [
+    "AudioProtection",
+    "KeyUsagePolicy",
+    "RevocationPolicy",
+    "ServicePolicy",
+    "assign_track_crypto",
+    "KeyControl",
+    "LicenseRequest",
+    "LicenseResponse",
+    "ProtocolError",
+    "ProvisionRequest",
+    "ProvisionResponse",
+    "WrappedKey",
+    "canonical_bytes",
+    "KeyboxAuthority",
+    "ProvisioningRecords",
+    "ProvisioningServer",
+    "device_rsa_key",
+    "LicenseServer",
+    "RegisteredKey",
+    "SessionRecord",
+]

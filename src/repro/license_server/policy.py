@@ -1,0 +1,167 @@
+"""Service-side key and revocation policies — the study's subject.
+
+Q3 distinguishes two key-usage regimes (Table I):
+
+- **Recommended** — every video resolution gets its own key *and* audio
+  gets keys distinct from any video key (Widevine/EME guidance);
+- **Minimal** — audio is either delivered in clear or encrypted under
+  the *same* key as the video of the corresponding resolution.
+
+Q4 distinguishes services that enforce Widevine's device revocation
+(refusing provisioning/licenses to discontinued CDMs) from those that
+favour reach and serve everyone.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.crypto.rng import derive_rng
+from repro.dash.packager import TrackCrypto
+from repro.media.content import Title, TrackKind
+from repro.widevine.versions import CdmVersion
+
+__all__ = [
+    "KeyUsagePolicy",
+    "AudioProtection",
+    "RevocationPolicy",
+    "ServicePolicy",
+    "assign_track_crypto",
+]
+
+
+class AudioProtection(enum.Enum):
+    """How a service protects audio tracks (the Q2/Q3 axis)."""
+
+    CLEAR = "clear"  # audio delivered unencrypted (Netflix, myCanal, Salto)
+    SHARED_KEY = "shared-key"  # audio reuses a video key (most services)
+    DISTINCT_KEY = "distinct-key"  # audio gets its own keys (Amazon only)
+
+
+class KeyUsagePolicy(enum.Enum):
+    """Table I's "Widevine Key Usage" column values."""
+
+    MINIMUM = "Minimum"
+    RECOMMENDED = "Recommended"
+
+
+@dataclass(frozen=True)
+class RevocationPolicy:
+    """Whether a service serves discontinued devices.
+
+    ``min_cdm_version`` is the floor a client must meet; ``None`` means
+    the service ignores revocation entirely (reach over security).
+    """
+
+    min_cdm_version: CdmVersion | None = None
+
+    @property
+    def enforced(self) -> bool:
+        return self.min_cdm_version is not None
+
+    def allows(self, cdm_version: str) -> bool:
+        if self.min_cdm_version is None:
+            return True
+        return CdmVersion.parse(cdm_version) >= self.min_cdm_version
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Everything a service decided about protection."""
+
+    service: str
+    audio_protection: AudioProtection
+    revocation: RevocationPolicy
+    # Resolution ceiling for software-only (L3) clients; HD needs L1.
+    l3_max_height: int = 540
+    # Keys identical for all subscribers (what §IV-D observed everywhere).
+    per_account_keys: bool = False
+    # Cross-check the security level a license request *claims* against
+    # the level the provisioning records attest. Services that skip this
+    # are open to the netflix-1080p profile-spoofing exploit (§V-C):
+    # an L3 client claiming "L1" receives HD keys.
+    verifies_client_level: bool = True
+    # Streaming-license lifetime in seconds; None = unbounded.
+    license_duration_s: int | None = None
+
+    @property
+    def key_usage(self) -> KeyUsagePolicy:
+        if self.audio_protection is AudioProtection.DISTINCT_KEY:
+            return KeyUsagePolicy.RECOMMENDED
+        return KeyUsagePolicy.MINIMUM
+
+
+def _content_key(service: str, title_id: str, group: str, account: str | None) -> bytes:
+    label = f"content-key/{service}/{title_id}/{group}"
+    if account is not None:
+        label += f"/{account}"
+    return derive_rng(label).generate(16)
+
+
+def _key_id(service: str, title_id: str, group: str) -> bytes:
+    return derive_rng(f"key-id/{service}/{title_id}/{group}").generate(16)
+
+
+def assign_track_crypto(
+    policy: ServicePolicy,
+    title: Title,
+    *,
+    account: str | None = None,
+) -> dict[str, TrackCrypto]:
+    """Produce the per-representation key assignment for *title*.
+
+    Video is always encrypted, one key per resolution (every service the
+    paper measured does this). Audio follows the policy. Subtitles are
+    always clear — there is no Android DRM API for them.
+    """
+    account_part = account if policy.per_account_keys else None
+    assignment: dict[str, TrackCrypto] = {}
+    video_group_by_height: dict[int, str] = {}
+
+    for rep in title.representations:
+        if rep.kind is TrackKind.VIDEO:
+            assert rep.resolution is not None
+            group = f"video-{rep.resolution.height}"
+            video_group_by_height[rep.resolution.height] = group
+            assignment[rep.rep_id] = TrackCrypto(
+                key_id=_key_id(policy.service, title.title_id, group),
+                key=_content_key(
+                    policy.service, title.title_id, group, account_part
+                ),
+            )
+
+    default_video_group = (
+        video_group_by_height[min(video_group_by_height)]
+        if video_group_by_height
+        else None
+    )
+
+    for rep in title.representations:
+        if rep.kind is TrackKind.VIDEO:
+            continue
+        if rep.kind is TrackKind.TEXT:
+            assignment[rep.rep_id] = TrackCrypto(key_id=None, key=None)
+            continue
+        # Audio.
+        if policy.audio_protection is AudioProtection.CLEAR:
+            assignment[rep.rep_id] = TrackCrypto(key_id=None, key=None)
+        elif policy.audio_protection is AudioProtection.SHARED_KEY:
+            if default_video_group is None:
+                raise ValueError("shared-key audio requires a video track")
+            group = default_video_group
+            assignment[rep.rep_id] = TrackCrypto(
+                key_id=_key_id(policy.service, title.title_id, group),
+                key=_content_key(
+                    policy.service, title.title_id, group, account_part
+                ),
+            )
+        else:  # DISTINCT_KEY
+            group = f"audio-{rep.language}"
+            assignment[rep.rep_id] = TrackCrypto(
+                key_id=_key_id(policy.service, title.title_id, group),
+                key=_content_key(
+                    policy.service, title.title_id, group, account_part
+                ),
+            )
+    return assignment

@@ -1,0 +1,342 @@
+"""Wire formats of the (simulated) Widevine provisioning and license
+protocols.
+
+Real Widevine uses protobuf messages; we use canonical JSON with hex
+fields so intercepted buffers are debuggable, while keeping the exact
+cryptographic structure the paper reverse-engineered (§IV-D):
+
+- the **keybox device key** authenticates provisioning and protects
+  delivery of the **device RSA key**;
+- the device RSA key signs license requests (RSASSA-PSS) and receives
+  the **session key** (RSAES-OAEP);
+- session keys derive MAC/encryption keys (AES-CMAC KDF, context =
+  serialized request) that wrap the **content keys**.
+
+Every message round-trips through bytes, so hooks and the proxy observe
+real serialized buffers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+__all__ = [
+    "ProtocolError",
+    "ProvisionRequest",
+    "ProvisionResponse",
+    "LicenseRequest",
+    "WrappedKey",
+    "KeyControl",
+    "LicenseResponse",
+    "canonical_bytes",
+]
+
+
+class ProtocolError(ValueError):
+    """Malformed or unverifiable protocol message."""
+
+
+def canonical_bytes(payload: dict[str, Any]) -> bytes:
+    """Canonical serialization used for MACs and signatures."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _require(payload: dict[str, Any], key: str) -> Any:
+    try:
+        return payload[key]
+    except KeyError:
+        raise ProtocolError(f"missing field {key!r}") from None
+
+
+def _hex(value: bytes) -> str:
+    return value.hex()
+
+
+def _unhex(value: str, name: str) -> bytes:
+    try:
+        return bytes.fromhex(value)
+    except (ValueError, TypeError):
+        raise ProtocolError(f"field {name!r} is not valid hex") from None
+
+
+@dataclass
+class ProvisionRequest:
+    """CDM → provisioning server.
+
+    Authenticated by an AES-CMAC under a key derived from the keybox
+    device key, proving the request comes from a device holding a valid
+    keybox.
+    """
+
+    device_id: bytes
+    nonce: bytes
+    cdm_version: str
+    security_level: str
+    mac: bytes = b""
+
+    def signing_payload(self) -> bytes:
+        return canonical_bytes(
+            {
+                "type": "provision_request",
+                "device_id": _hex(self.device_id),
+                "nonce": _hex(self.nonce),
+                "cdm_version": self.cdm_version,
+                "security_level": self.security_level,
+            }
+        )
+
+    def serialize(self) -> bytes:
+        return canonical_bytes(
+            {
+                "type": "provision_request",
+                "device_id": _hex(self.device_id),
+                "nonce": _hex(self.nonce),
+                "cdm_version": self.cdm_version,
+                "security_level": self.security_level,
+                "mac": _hex(self.mac),
+            }
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "ProvisionRequest":
+        payload = _load_json(data, expected_type="provision_request")
+        return cls(
+            device_id=_unhex(_require(payload, "device_id"), "device_id"),
+            nonce=_unhex(_require(payload, "nonce"), "nonce"),
+            cdm_version=_require(payload, "cdm_version"),
+            security_level=_require(payload, "security_level"),
+            mac=_unhex(_require(payload, "mac"), "mac"),
+        )
+
+
+@dataclass
+class ProvisionResponse:
+    """Provisioning server → CDM: the wrapped device RSA key.
+
+    ``wrapped_rsa_key`` is AES-CBC under a provisioning key derived from
+    the keybox device key and the request nonce — "the installation
+    process is protected by the keybox" (§IV-D).
+    """
+
+    device_id: bytes
+    iv: bytes
+    wrapped_rsa_key: bytes
+    mac: bytes = b""
+
+    def signing_payload(self) -> bytes:
+        return canonical_bytes(
+            {
+                "type": "provision_response",
+                "device_id": _hex(self.device_id),
+                "iv": _hex(self.iv),
+                "wrapped_rsa_key": _hex(self.wrapped_rsa_key),
+            }
+        )
+
+    def serialize(self) -> bytes:
+        return canonical_bytes(
+            {
+                "type": "provision_response",
+                "device_id": _hex(self.device_id),
+                "iv": _hex(self.iv),
+                "wrapped_rsa_key": _hex(self.wrapped_rsa_key),
+                "mac": _hex(self.mac),
+            }
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "ProvisionResponse":
+        payload = _load_json(data, expected_type="provision_response")
+        return cls(
+            device_id=_unhex(_require(payload, "device_id"), "device_id"),
+            iv=_unhex(_require(payload, "iv"), "iv"),
+            wrapped_rsa_key=_unhex(
+                _require(payload, "wrapped_rsa_key"), "wrapped_rsa_key"
+            ),
+            mac=_unhex(_require(payload, "mac"), "mac"),
+        )
+
+
+@dataclass
+class LicenseRequest:
+    """CDM → license server, signed with the device RSA key."""
+
+    session_id: bytes
+    device_id: bytes
+    rsa_fingerprint: bytes
+    pssh_data: bytes
+    nonce: bytes
+    cdm_version: str
+    security_level: str
+    device_model: str
+    signature: bytes = b""
+
+    def signing_payload(self) -> bytes:
+        return canonical_bytes(
+            {
+                "type": "license_request",
+                "session_id": _hex(self.session_id),
+                "device_id": _hex(self.device_id),
+                "rsa_fingerprint": _hex(self.rsa_fingerprint),
+                "pssh_data": _hex(self.pssh_data),
+                "nonce": _hex(self.nonce),
+                "cdm_version": self.cdm_version,
+                "security_level": self.security_level,
+                "device_model": self.device_model,
+            }
+        )
+
+    def serialize(self) -> bytes:
+        return canonical_bytes(
+            {
+                "type": "license_request",
+                "session_id": _hex(self.session_id),
+                "device_id": _hex(self.device_id),
+                "rsa_fingerprint": _hex(self.rsa_fingerprint),
+                "pssh_data": _hex(self.pssh_data),
+                "nonce": _hex(self.nonce),
+                "cdm_version": self.cdm_version,
+                "security_level": self.security_level,
+                "device_model": self.device_model,
+                "signature": _hex(self.signature),
+            }
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "LicenseRequest":
+        payload = _load_json(data, expected_type="license_request")
+        return cls(
+            session_id=_unhex(_require(payload, "session_id"), "session_id"),
+            device_id=_unhex(_require(payload, "device_id"), "device_id"),
+            rsa_fingerprint=_unhex(
+                _require(payload, "rsa_fingerprint"), "rsa_fingerprint"
+            ),
+            pssh_data=_unhex(_require(payload, "pssh_data"), "pssh_data"),
+            nonce=_unhex(_require(payload, "nonce"), "nonce"),
+            cdm_version=_require(payload, "cdm_version"),
+            security_level=_require(payload, "security_level"),
+            device_model=_require(payload, "device_model"),
+            signature=_unhex(_require(payload, "signature"), "signature"),
+        )
+
+
+@dataclass(frozen=True)
+class KeyControl:
+    """Usage constraints attached to one content key."""
+
+    max_height: int | None = None  # resolution cap (None = unlimited)
+    require_security_level: str | None = None
+    license_duration_s: int | None = None  # None = unbounded
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "max_height": self.max_height,
+            "require_security_level": self.require_security_level,
+            "license_duration_s": self.license_duration_s,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "KeyControl":
+        return cls(
+            max_height=payload.get("max_height"),
+            require_security_level=payload.get("require_security_level"),
+            license_duration_s=payload.get("license_duration_s"),
+        )
+
+
+@dataclass
+class WrappedKey:
+    """One content key, AES-CBC-wrapped under the session encryption key."""
+
+    key_id: bytes
+    iv: bytes
+    wrapped_key: bytes
+    control: KeyControl = field(default_factory=KeyControl)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "key_id": _hex(self.key_id),
+            "iv": _hex(self.iv),
+            "wrapped_key": _hex(self.wrapped_key),
+            "control": self.control.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "WrappedKey":
+        return cls(
+            key_id=_unhex(_require(payload, "key_id"), "key_id"),
+            iv=_unhex(_require(payload, "iv"), "iv"),
+            wrapped_key=_unhex(_require(payload, "wrapped_key"), "wrapped_key"),
+            control=KeyControl.from_json(payload.get("control", {})),
+        )
+
+
+@dataclass
+class LicenseResponse:
+    """License server → CDM.
+
+    ``wrapped_session_key`` is RSAES-OAEP to the device RSA key;
+    ``derivation_context`` tells the CDM what to feed the CMAC KDF
+    (the serialized request's signing payload); the MAC is HMAC-SHA256
+    under the derived server MAC key.
+    """
+
+    session_id: bytes
+    wrapped_session_key: bytes
+    derivation_context: bytes
+    keys: list[WrappedKey] = field(default_factory=list)
+    mac: bytes = b""
+
+    def signing_payload(self) -> bytes:
+        return canonical_bytes(
+            {
+                "type": "license",
+                "session_id": _hex(self.session_id),
+                "wrapped_session_key": _hex(self.wrapped_session_key),
+                "derivation_context": _hex(self.derivation_context),
+                "keys": [k.to_json() for k in self.keys],
+            }
+        )
+
+    def serialize(self) -> bytes:
+        return canonical_bytes(
+            {
+                "type": "license",
+                "session_id": _hex(self.session_id),
+                "wrapped_session_key": _hex(self.wrapped_session_key),
+                "derivation_context": _hex(self.derivation_context),
+                "keys": [k.to_json() for k in self.keys],
+                "mac": _hex(self.mac),
+            }
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "LicenseResponse":
+        payload = _load_json(data, expected_type="license")
+        return cls(
+            session_id=_unhex(_require(payload, "session_id"), "session_id"),
+            wrapped_session_key=_unhex(
+                _require(payload, "wrapped_session_key"), "wrapped_session_key"
+            ),
+            derivation_context=_unhex(
+                _require(payload, "derivation_context"), "derivation_context"
+            ),
+            keys=[WrappedKey.from_json(k) for k in _require(payload, "keys")],
+            mac=_unhex(_require(payload, "mac"), "mac"),
+        )
+
+
+def _load_json(data: bytes, *, expected_type: str) -> dict[str, Any]:
+    try:
+        payload = json.loads(data.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"not a protocol message: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("protocol message must be a JSON object")
+    if payload.get("type") != expected_type:
+        raise ProtocolError(
+            f"expected message type {expected_type!r}, got {payload.get('type')!r}"
+        )
+    return payload

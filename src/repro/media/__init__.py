@@ -1,0 +1,61 @@
+"""Synthetic media substrate: content model, codecs, subtitles, player,
+catalogs."""
+
+from repro.media.catalog import Catalog, default_catalog
+from repro.media.codecs import (
+    HEADER_LEN,
+    SAMPLE_MAGIC,
+    SampleValidation,
+    generate_sample,
+    sample_header_length,
+    validate_sample,
+)
+from repro.media.content import (
+    HD_720,
+    HD_1080,
+    QHD,
+    Representation,
+    Resolution,
+    Title,
+    TrackKind,
+    make_title,
+)
+from repro.media.player import (
+    AssetStatus,
+    PlaybackProbe,
+    probe_subtitle,
+    probe_track,
+)
+from repro.media.subtitles import (
+    Cue,
+    build_webvtt,
+    looks_like_clear_text,
+    parse_webvtt,
+)
+
+__all__ = [
+    "Catalog",
+    "default_catalog",
+    "HEADER_LEN",
+    "SAMPLE_MAGIC",
+    "SampleValidation",
+    "generate_sample",
+    "sample_header_length",
+    "validate_sample",
+    "HD_720",
+    "HD_1080",
+    "QHD",
+    "Representation",
+    "Resolution",
+    "Title",
+    "TrackKind",
+    "make_title",
+    "AssetStatus",
+    "PlaybackProbe",
+    "probe_subtitle",
+    "probe_track",
+    "Cue",
+    "build_webvtt",
+    "looks_like_clear_text",
+    "parse_webvtt",
+]

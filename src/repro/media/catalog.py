@@ -1,0 +1,55 @@
+"""Per-service content catalogs.
+
+Each OTT backend owns a :class:`Catalog` of titles. Helper factories
+build the catalogs the study's workloads use; title ids are kept short
+because they feed the fixed-width sample labels of
+:mod:`repro.media.codecs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.media.content import Title, make_title
+
+__all__ = ["Catalog", "default_catalog"]
+
+
+@dataclass
+class Catalog:
+    """A service's library of titles."""
+
+    service: str
+    titles: dict[str, Title] = field(default_factory=dict)
+
+    def add(self, title: Title) -> None:
+        if title.title_id in self.titles:
+            raise ValueError(f"duplicate title id {title.title_id!r}")
+        self.titles[title.title_id] = title
+
+    def get(self, title_id: str) -> Title:
+        try:
+            return self.titles[title_id]
+        except KeyError:
+            raise KeyError(
+                f"{self.service}: unknown title {title_id!r}"
+            ) from None
+
+    def __contains__(self, title_id: str) -> bool:
+        return title_id in self.titles
+
+    def __iter__(self):
+        return iter(self.titles.values())
+
+    def __len__(self) -> int:
+        return len(self.titles)
+
+
+def default_catalog(service: str, *, title_count: int = 2) -> Catalog:
+    """A small standard catalog: *title_count* titles with the default
+    ladder (540p/720p/1080p video, en+fr audio and subtitles)."""
+    catalog = Catalog(service=service)
+    for index in range(title_count):
+        title_id = f"{service[:4]}{index:02d}"
+        catalog.add(make_title(title_id, f"{service} feature #{index}"))
+    return catalog

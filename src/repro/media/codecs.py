@@ -1,0 +1,126 @@
+"""Synthetic codec bitstreams.
+
+The paper downloads real movie tracks and checks whether "video or
+audio players can read the downloaded files". We have no movies, so
+tracks are synthetic bitstreams with enough structure for an honest
+playability check:
+
+- every sample starts with a clear header (magic, kind, label, sequence
+  number) — modelling the codec headers real packagers leave clear in
+  subsample encryption — followed by a pseudo-random payload;
+- a truncated SHA-256 over header+payload ends the sample, so the
+  reference player in :mod:`repro.media.player` can tell *decodable
+  content* from *ciphertext* without any out-of-band flag.
+
+Samples are deterministic functions of (title, track label, sequence
+number), so the same content fetched through different apps or devices
+is bit-identical — which is what lets the key-ladder attack's output be
+verified against the original.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "SAMPLE_MAGIC",
+    "HEADER_LEN",
+    "SampleValidation",
+    "generate_sample",
+    "validate_sample",
+    "sample_header_length",
+]
+
+SAMPLE_MAGIC = b"SYN0"
+_CHECKSUM_LEN = 8
+_KIND_CODES = {"video": 0x76, "audio": 0x61, "text": 0x74}
+_KIND_NAMES = {code: kind for kind, code in _KIND_CODES.items()}
+
+# Fixed-size label field keeps every header the same length, which the
+# CENC subsample maps rely on.
+_LABEL_LEN = 24
+HEADER_LEN = 4 + 1 + 1 + _LABEL_LEN + 4 + 4
+
+
+@dataclass(frozen=True)
+class SampleValidation:
+    """Outcome of validating one sample bitstream."""
+
+    valid: bool
+    reason: str
+    kind: str | None = None
+    label: str | None = None
+    sequence: int | None = None
+
+
+def _keystream(seed: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out.extend(hashlib.sha256(seed + counter.to_bytes(4, "big")).digest())
+        counter += 1
+    return bytes(out[:length])
+
+
+def generate_sample(kind: str, label: str, sequence: int, payload_len: int) -> bytes:
+    """Deterministically generate one synthetic sample.
+
+    *label* identifies the (title, representation) pair, e.g.
+    ``"tt-001/video-540p"``; *sequence* is the global sample index.
+    """
+    if kind not in _KIND_CODES:
+        raise ValueError(f"unknown sample kind {kind!r}")
+    raw_label = label.encode()
+    if len(raw_label) > _LABEL_LEN:
+        raise ValueError(f"label too long ({len(raw_label)} > {_LABEL_LEN})")
+    padded_label = raw_label.ljust(_LABEL_LEN, b"\x00")
+    header = (
+        SAMPLE_MAGIC
+        + bytes([_KIND_CODES[kind], len(raw_label)])
+        + padded_label
+        + struct.pack(">II", sequence, payload_len)
+    )
+    payload = _keystream(b"payload/" + raw_label + struct.pack(">I", sequence), payload_len)
+    checksum = hashlib.sha256(header + payload).digest()[:_CHECKSUM_LEN]
+    return header + payload + checksum
+
+
+def validate_sample(data: bytes) -> SampleValidation:
+    """Check whether *data* is a well-formed clear sample.
+
+    Ciphertext fails here (wrong checksum or corrupted structure), which
+    is how the reference player distinguishes protected from clear
+    content.
+    """
+    if len(data) < HEADER_LEN + _CHECKSUM_LEN:
+        return SampleValidation(False, "too short")
+    if data[:4] != SAMPLE_MAGIC:
+        return SampleValidation(False, "bad magic")
+    kind_code = data[4]
+    kind = _KIND_NAMES.get(kind_code)
+    if kind is None:
+        return SampleValidation(False, f"unknown kind byte 0x{kind_code:02x}")
+    label_len = data[5]
+    if label_len > _LABEL_LEN:
+        return SampleValidation(False, "bad label length")
+    label = data[6 : 6 + label_len].decode("latin-1")
+    sequence, payload_len = struct.unpack(
+        ">II", data[6 + _LABEL_LEN : HEADER_LEN]
+    )
+    expected_total = HEADER_LEN + payload_len + _CHECKSUM_LEN
+    if len(data) != expected_total:
+        return SampleValidation(
+            False, f"length mismatch ({len(data)} != {expected_total})", kind, label
+        )
+    body = data[: HEADER_LEN + payload_len]
+    checksum = data[HEADER_LEN + payload_len :]
+    if hashlib.sha256(body).digest()[:_CHECKSUM_LEN] != checksum:
+        return SampleValidation(False, "checksum mismatch", kind, label, sequence)
+    return SampleValidation(True, "ok", kind, label, sequence)
+
+
+def sample_header_length() -> int:
+    """Length of the clear header prefix (the CENC clear range)."""
+    return HEADER_LEN

@@ -1,0 +1,189 @@
+"""Content model: titles, tracks, representations, segments.
+
+A :class:`Title` is one piece of media with an adaptation ladder:
+video representations at several resolutions, audio representations per
+language, and subtitle tracks per language — the exact shape the paper's
+Q2/Q3 analysis sweeps (video once, audio/subtitles re-fetched per
+language selection).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.media.codecs import generate_sample
+
+__all__ = [
+    "TrackKind",
+    "Resolution",
+    "Representation",
+    "Title",
+    "make_title",
+    "QHD",
+    "HD_720",
+    "HD_1080",
+]
+
+
+class TrackKind(enum.Enum):
+    """The three asset classes the study audits."""
+
+    VIDEO = "video"
+    AUDIO = "audio"
+    TEXT = "text"
+
+
+@dataclass(frozen=True, order=True)
+class Resolution:
+    """Video frame size; comparable so "best quality" is well-defined."""
+
+    width: int
+    height: int
+
+    def __str__(self) -> str:
+        return f"{self.width}x{self.height}"
+
+    @property
+    def is_hd(self) -> bool:
+        return self.height >= 720
+
+
+QHD = Resolution(960, 540)
+HD_720 = Resolution(1280, 720)
+HD_1080 = Resolution(1920, 1080)
+
+
+@dataclass(frozen=True)
+class Representation:
+    """One downloadable track variant.
+
+    Video representations differ by resolution; audio and text by
+    language. ``rep_id`` is stable and unique within a title.
+    """
+
+    rep_id: str
+    kind: TrackKind
+    codec: str
+    bitrate_kbps: int
+    resolution: Resolution | None = None
+    language: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is TrackKind.VIDEO and self.resolution is None:
+            raise ValueError("video representation needs a resolution")
+        if self.kind is not TrackKind.VIDEO and self.language is None:
+            raise ValueError("audio/text representation needs a language")
+
+    def label(self, title_id: str) -> str:
+        """Stable content label used to derive deterministic samples."""
+        return f"{title_id}/{self.rep_id}"
+
+
+@dataclass(frozen=True)
+class Title:
+    """One media item with its full adaptation ladder."""
+
+    title_id: str
+    name: str
+    duration_s: int
+    segment_duration_s: int
+    representations: tuple[Representation, ...] = field(default_factory=tuple)
+
+    @property
+    def segment_count(self) -> int:
+        return -(-self.duration_s // self.segment_duration_s)
+
+    def videos(self) -> list[Representation]:
+        reps = [r for r in self.representations if r.kind is TrackKind.VIDEO]
+        return sorted(reps, key=lambda r: r.resolution)  # type: ignore[arg-type]
+
+    def audios(self, language: str | None = None) -> list[Representation]:
+        reps = [r for r in self.representations if r.kind is TrackKind.AUDIO]
+        if language is not None:
+            reps = [r for r in reps if r.language == language]
+        return reps
+
+    def subtitles(self, language: str | None = None) -> list[Representation]:
+        reps = [r for r in self.representations if r.kind is TrackKind.TEXT]
+        if language is not None:
+            reps = [r for r in reps if r.language == language]
+        return reps
+
+    def representation(self, rep_id: str) -> Representation:
+        for rep in self.representations:
+            if rep.rep_id == rep_id:
+                return rep
+        raise KeyError(f"no representation {rep_id!r} in {self.title_id}")
+
+    def languages(self) -> list[str]:
+        return sorted({r.language for r in self.audios()})  # type: ignore[arg-type]
+
+    def samples_for_segment(
+        self, rep: Representation, segment_index: int, *, samples_per_segment: int = 4
+    ) -> list[bytes]:
+        """Deterministic clear samples for one (representation, segment)."""
+        if not 0 <= segment_index < self.segment_count:
+            raise IndexError(
+                f"segment {segment_index} out of range 0..{self.segment_count - 1}"
+            )
+        # Payload size scales with bitrate so higher resolutions really
+        # are bigger assets, while staying laptop-friendly.
+        payload_len = max(64, self.segment_duration_s * rep.bitrate_kbps // 32)
+        label = rep.label(self.title_id)
+        base = segment_index * samples_per_segment
+        return [
+            generate_sample(rep.kind.value, label, base + i, payload_len)
+            for i in range(samples_per_segment)
+        ]
+
+
+def make_title(
+    title_id: str,
+    name: str,
+    *,
+    duration_s: int = 24,
+    segment_duration_s: int = 4,
+    video_resolutions: tuple[Resolution, ...] = (QHD, HD_720, HD_1080),
+    audio_languages: tuple[str, ...] = ("en", "fr"),
+    subtitle_languages: tuple[str, ...] = ("en", "fr"),
+) -> Title:
+    """Build a title with a conventional adaptation ladder."""
+    reps: list[Representation] = []
+    for res in video_resolutions:
+        reps.append(
+            Representation(
+                rep_id=f"v{res.height}",
+                kind=TrackKind.VIDEO,
+                codec="synh264",
+                bitrate_kbps=res.height * 4,
+                resolution=res,
+            )
+        )
+    for lang in audio_languages:
+        reps.append(
+            Representation(
+                rep_id=f"a-{lang}",
+                kind=TrackKind.AUDIO,
+                codec="synaac",
+                bitrate_kbps=128,
+                language=lang,
+            )
+        )
+    for lang in subtitle_languages:
+        reps.append(
+            Representation(
+                rep_id=f"t-{lang}",
+                kind=TrackKind.TEXT,
+                codec="wvtt",
+                bitrate_kbps=4,
+                language=lang,
+            )
+        )
+    return Title(
+        title_id=title_id,
+        name=name,
+        duration_s=duration_s,
+        segment_duration_s=segment_duration_s,
+        representations=tuple(reps),
+    )

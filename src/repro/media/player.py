@@ -1,0 +1,115 @@
+"""Reference media player used by the audit to classify downloaded assets.
+
+This is the "video or audio player" of §IV-B: given the raw bytes of an
+init segment and media segments, it parses the container, tries to
+decode the samples, and reports one of three statuses:
+
+- ``CLEAR`` — container parses and every sample validates: the asset
+  plays anywhere, no DRM involved;
+- ``ENCRYPTED`` — container parses, the track is CENC-protected and the
+  payloads do not validate without keys;
+- ``CORRUPT`` — neither: the bytes are not a playable asset.
+
+It never consults the DRM stack, so (like the paper's offline check) it
+answers "can a pirate read this file as-is?".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.bmff.boxes import BoxParseError
+from repro.bmff.builder import read_samples, read_track_info
+from repro.media.codecs import validate_sample
+from repro.media.subtitles import looks_like_clear_text, parse_webvtt
+
+__all__ = ["AssetStatus", "PlaybackProbe", "probe_track", "probe_subtitle"]
+
+
+class AssetStatus(enum.Enum):
+    """Protection status of a downloaded asset, as seen by a player."""
+
+    CLEAR = "clear"
+    ENCRYPTED = "encrypted"
+    CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class PlaybackProbe:
+    """Detailed result of probing one track."""
+
+    status: AssetStatus
+    kind: str | None = None
+    codec: str | None = None
+    declared_protected: bool = False
+    default_kid: bytes | None = None
+    samples_total: int = 0
+    samples_valid: int = 0
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+
+def probe_track(init_segment: bytes, media_segments: list[bytes]) -> PlaybackProbe:
+    """Classify a downloaded track from its raw bytes."""
+    try:
+        info = read_track_info(init_segment)
+    except (BoxParseError, ValueError) as exc:
+        return PlaybackProbe(status=AssetStatus.CORRUPT, notes=(str(exc),))
+
+    total = 0
+    valid = 0
+    senc_present = False
+    notes: list[str] = []
+    for segment in media_segments:
+        try:
+            samples, protected = read_samples(segment, iv_size=info.iv_size)
+        except (BoxParseError, ValueError) as exc:
+            return PlaybackProbe(
+                status=AssetStatus.CORRUPT,
+                kind=info.kind,
+                codec=info.codec,
+                declared_protected=info.protected,
+                default_kid=info.default_kid,
+                notes=(f"segment parse error: {exc}",),
+            )
+        senc_present = senc_present or protected
+        for sample in samples:
+            total += 1
+            if validate_sample(sample.data).valid:
+                valid += 1
+
+    if total and valid == total:
+        status = AssetStatus.CLEAR
+        if info.protected:
+            # Declared protected but fully decodable: a packager bug the
+            # audit should flag loudly rather than average away.
+            notes.append("declared protected but samples decode in clear")
+    elif info.protected or senc_present:
+        status = AssetStatus.ENCRYPTED
+        if valid:
+            notes.append(f"{valid}/{total} samples decode despite protection")
+    else:
+        status = AssetStatus.CORRUPT
+        notes.append("clear container but samples do not decode")
+
+    return PlaybackProbe(
+        status=status,
+        kind=info.kind,
+        codec=info.codec,
+        declared_protected=info.protected,
+        default_kid=info.default_kid,
+        samples_total=total,
+        samples_valid=valid,
+        notes=tuple(notes),
+    )
+
+
+def probe_subtitle(data: bytes) -> AssetStatus:
+    """Classify a subtitle file: parseable WebVTT + mostly-ASCII = clear."""
+    if looks_like_clear_text(data):
+        try:
+            parse_webvtt(data)
+        except ValueError:
+            return AssetStatus.CORRUPT
+        return AssetStatus.CLEAR
+    return AssetStatus.ENCRYPTED

@@ -1,0 +1,33 @@
+"""Simulated network substrate: HTTP, TLS with pinning, virtual servers,
+an intercepting proxy (Burp analogue) and a CDN."""
+
+from repro.net.cdn import CdnServer
+from repro.net.http import HttpRequest, HttpResponse, Url, parse_url
+from repro.net.network import HttpClient, Network
+from repro.net.proxy import Flow, InterceptingProxy
+from repro.net.server import VirtualServer
+from repro.net.tls import (
+    Certificate,
+    PinSet,
+    TlsError,
+    TrustStore,
+    issue_certificate,
+)
+
+__all__ = [
+    "CdnServer",
+    "HttpRequest",
+    "HttpResponse",
+    "Url",
+    "parse_url",
+    "HttpClient",
+    "Network",
+    "Flow",
+    "InterceptingProxy",
+    "VirtualServer",
+    "Certificate",
+    "PinSet",
+    "TlsError",
+    "TrustStore",
+    "issue_certificate",
+]

@@ -1,0 +1,82 @@
+"""Minimal HTTP message model for the simulated network.
+
+Requests and responses are plain dataclasses; there is no socket layer —
+delivery happens through :class:`repro.net.network.Network`, which is
+where TLS, pinning and the intercepting proxy live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, urlparse
+
+__all__ = ["HttpRequest", "HttpResponse", "Url", "parse_url"]
+
+
+@dataclass(frozen=True)
+class Url:
+    """Decomposed URL."""
+
+    scheme: str
+    host: str
+    path: str
+    query: dict[str, str]
+
+    def __str__(self) -> str:
+        query = "&".join(f"{k}={v}" for k, v in sorted(self.query.items()))
+        return f"{self.scheme}://{self.host}{self.path}" + (
+            f"?{query}" if query else ""
+        )
+
+
+def parse_url(raw: str) -> Url:
+    """Parse an absolute URL; raises ValueError when host is missing."""
+    parsed = urlparse(raw)
+    if not parsed.netloc:
+        raise ValueError(f"URL has no host: {raw!r}")
+    query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+    return Url(
+        scheme=parsed.scheme or "https",
+        host=parsed.netloc,
+        path=parsed.path or "/",
+        query=query,
+    )
+
+
+@dataclass
+class HttpRequest:
+    """One HTTP request."""
+
+    method: str
+    url: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def parsed_url(self) -> Url:
+        return parse_url(self.url)
+
+
+@dataclass
+class HttpResponse:
+    """One HTTP response."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @classmethod
+    def not_found(cls, detail: str = "not found") -> "HttpResponse":
+        return cls(status=404, body=detail.encode())
+
+    @classmethod
+    def forbidden(cls, detail: str = "forbidden") -> "HttpResponse":
+        return cls(status=403, body=detail.encode())
+
+    @classmethod
+    def bad_request(cls, detail: str = "bad request") -> "HttpResponse":
+        return cls(status=400, body=detail.encode())

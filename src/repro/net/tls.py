@@ -1,0 +1,88 @@
+"""Simulated TLS: certificates, pinning, handshake verdicts.
+
+The model keeps exactly the properties the study depends on:
+
+- every server presents a certificate binding its hostname to a public
+  key; clients verify the chain against a trust store;
+- apps may additionally *pin* the expected public-key fingerprint
+  (certificate pinning / "SSL pinning"), which defeats an intercepting
+  proxy whose CA the device trusts;
+- the Frida repinning hook (:mod:`repro.instrumentation.hooks`) disables
+  the pin check at the client object — after which interception works,
+  reproducing the paper's finding that pinning stopped none of the ten
+  apps from being intercepted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Certificate", "TrustStore", "PinSet", "TlsError", "issue_certificate"]
+
+
+class TlsError(Exception):
+    """Handshake failure (untrusted chain or pin mismatch)."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An X.509 stand-in: hostname, public key bytes, issuer name."""
+
+    hostname: str
+    public_key: bytes
+    issuer: str
+
+    def spki_fingerprint(self) -> bytes:
+        """SHA-256 over the public key — what HPKP-style pins commit to."""
+        return hashlib.sha256(self.public_key).digest()
+
+
+def issue_certificate(hostname: str, issuer: str, seed: bytes) -> Certificate:
+    """Mint a deterministic certificate for *hostname* signed by *issuer*."""
+    public_key = hashlib.sha256(b"pub/" + seed + hostname.encode()).digest()
+    return Certificate(hostname=hostname, public_key=public_key, issuer=issuer)
+
+
+@dataclass
+class TrustStore:
+    """The device's set of trusted certificate authorities."""
+
+    trusted_issuers: set[str] = field(default_factory=lambda: {"GlobalRootCA"})
+
+    def verify(self, certificate: Certificate, hostname: str) -> None:
+        if certificate.hostname != hostname:
+            raise TlsError(
+                f"certificate hostname {certificate.hostname!r} != {hostname!r}"
+            )
+        if certificate.issuer not in self.trusted_issuers:
+            raise TlsError(f"untrusted issuer {certificate.issuer!r}")
+
+    def add_issuer(self, issuer: str) -> None:
+        """Install an extra CA (e.g. the proxy's CA on a test device)."""
+        self.trusted_issuers.add(issuer)
+
+
+@dataclass
+class PinSet:
+    """An app's certificate pins, host → expected SPKI fingerprint.
+
+    ``enabled`` is the switch the repinning hook flips: real Frida
+    scripts overwrite the ``X509TrustManager``/OkHttp ``CertificatePinner``
+    so the check always passes; we model that as disabling the pin set.
+    """
+
+    pins: dict[str, bytes] = field(default_factory=dict)
+    enabled: bool = True
+
+    def pin(self, host: str, certificate: Certificate) -> None:
+        self.pins[host] = certificate.spki_fingerprint()
+
+    def verify(self, host: str, certificate: Certificate) -> None:
+        if not self.enabled:
+            return
+        expected = self.pins.get(host)
+        if expected is None:
+            return
+        if certificate.spki_fingerprint() != expected:
+            raise TlsError(f"certificate pin mismatch for {host!r}")

@@ -1,0 +1,38 @@
+"""OTT app models: the app framework, per-service backends, the
+embedded custom DRM, and the ten evaluated service profiles."""
+
+from repro.ott.app import (
+    AppProtectionError,
+    LicenseDeniedError,
+    OttApp,
+    OttError,
+    PlaybackError,
+    PlaybackResult,
+    ProvisioningDeniedError,
+    TrackPlayback,
+)
+from repro.ott.backend import SECURE_CHANNEL_CONTENT_ID, OttBackend
+from repro.ott.custom_drm import EmbeddedCdm, embedded_app_secret
+from repro.ott.profile import URI_PLAIN, URI_SECURE_CHANNEL, OttProfile
+from repro.ott.registry import ALL_PROFILES, profile_by_name, profile_by_service
+
+__all__ = [
+    "AppProtectionError",
+    "LicenseDeniedError",
+    "OttApp",
+    "OttError",
+    "PlaybackError",
+    "PlaybackResult",
+    "ProvisioningDeniedError",
+    "TrackPlayback",
+    "SECURE_CHANNEL_CONTENT_ID",
+    "OttBackend",
+    "EmbeddedCdm",
+    "embedded_app_secret",
+    "URI_PLAIN",
+    "URI_SECURE_CHANNEL",
+    "OttProfile",
+    "ALL_PROFILES",
+    "profile_by_name",
+    "profile_by_service",
+]

@@ -1,0 +1,146 @@
+"""OTT app profiles: the per-service configuration surface.
+
+A profile captures everything a service *decided*: how audio is
+protected, whether revocation is enforced, whether manifest URIs ride a
+Widevine secure channel, whether a custom DRM replaces Widevine on
+L3-only devices, and app-hardening choices (pinning, anti-debug,
+SafetyNet). Table I *emerges* from running the audit pipeline against
+these behaviours — the profiles encode decisions, never verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.android.packages import Apk
+from repro.license_server.policy import (
+    AudioProtection,
+    RevocationPolicy,
+    ServicePolicy,
+)
+from repro.widevine.versions import CdmVersion
+
+__all__ = ["OttProfile", "URI_PLAIN", "URI_SECURE_CHANNEL"]
+
+URI_PLAIN = "plain"
+URI_SECURE_CHANNEL = "secure-channel"
+
+# The CDM floor enforced by revocation-abiding services: anything older
+# than the previous major release is refused.
+_REVOCATION_FLOOR = CdmVersion(14)
+
+
+@dataclass(frozen=True)
+class OttProfile:
+    """Static description of one OTT service and its Android app."""
+
+    name: str  # display name, e.g. "Netflix"
+    service: str  # slug, e.g. "netflix" (used in hostnames and paths)
+    package: str  # Android package name
+    installs_millions: int
+    audio_protection: AudioProtection
+    enforces_revocation: bool
+    uri_protection: str = URI_PLAIN
+    uses_exoplayer: bool = True
+    anti_debug: bool = True
+    checks_safetynet: bool = True
+    # False models the paper's regional gaps: Hulu/Starz subtitle URIs
+    # were unobtainable; Hulu/HBO Max key metadata was geo-blocked.
+    subtitles_listed: bool = True
+    key_metadata_available: bool = True
+    # Amazon: embedded custom DRM when only Widevine L3 is available.
+    custom_drm_on_l3: bool = False
+    # False models the netflix-1080p class of bug (§V-C): the license
+    # server trusts the client's claimed security level for HD gating.
+    verifies_client_level: bool = True
+    title_count: int = 1
+
+    def policy(self) -> ServicePolicy:
+        return ServicePolicy(
+            service=self.service,
+            audio_protection=self.audio_protection,
+            revocation=RevocationPolicy(
+                min_cdm_version=_REVOCATION_FLOOR if self.enforces_revocation else None
+            ),
+            verifies_client_level=self.verifies_client_level,
+        )
+
+    # -- hostnames -----------------------------------------------------------
+
+    @property
+    def api_host(self) -> str:
+        return f"api.{self.service}.example"
+
+    @property
+    def cdn_host(self) -> str:
+        return f"cdn.{self.service}.example"
+
+    @property
+    def license_host(self) -> str:
+        return f"license.{self.service}.example"
+
+    @property
+    def provisioning_host(self) -> str:
+        return f"prov.{self.service}.example"
+
+    def all_hosts(self) -> tuple[str, ...]:
+        return (
+            self.api_host,
+            self.cdn_host,
+            self.license_host,
+            self.provisioning_host,
+        )
+
+    # -- APK model --------------------------------------------------------------
+
+    def build_apk(self) -> Apk:
+        """The installable package as static analysis would see it."""
+        apk = Apk(
+            package=self.package,
+            version="1.0",
+            uses_exoplayer=self.uses_exoplayer,
+            pinned_hosts=self.all_hosts(),
+            anti_debug=self.anti_debug,
+            checks_safetynet=self.checks_safetynet,
+        )
+        apk.add_class(
+            f"{self.package}.MainActivity",
+            ("android.app.Activity.onCreate",),
+        )
+        if self.uses_exoplayer:
+            apk.add_class(
+                "com.google.android.exoplayer2.drm.DefaultDrmSessionManager",
+                (
+                    "android.media.MediaDrm.openSession",
+                    "android.media.MediaDrm.getKeyRequest",
+                    "android.media.MediaDrm.provideKeyResponse",
+                    "android.media.MediaCrypto.<init>",
+                ),
+            )
+            apk.add_class(
+                "com.google.android.exoplayer2.drm.FrameworkMediaDrm",
+                ("android.media.MediaDrm.<init>",),
+            )
+        else:
+            apk.add_class(
+                f"{self.package}.player.DrmEngine",
+                (
+                    "android.media.MediaDrm.<init>",
+                    "android.media.MediaDrm.openSession",
+                    "android.media.MediaDrm.getKeyRequest",
+                    "android.media.MediaDrm.provideKeyResponse",
+                    "android.media.MediaCrypto.<init>",
+                ),
+            )
+        if self.custom_drm_on_l3:
+            apk.add_class(
+                f"{self.package}.drm.EmbeddedCdm",
+                (f"{self.package}.drm.EmbeddedCdm.loadKeys",),
+            )
+        # A dash of dead code: the paper notes decompilation alone
+        # over-approximates, which is why dynamic monitoring backs it.
+        apk.add_class(
+            f"{self.package}.legacy.OldPlayerShim",
+            ("android.media.MediaDrm.getPropertyString",),
+        )
+        return apk

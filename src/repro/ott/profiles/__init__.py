@@ -1,0 +1,1 @@
+"""One module per evaluated OTT service (Table I order in the registry)."""

@@ -1,0 +1,22 @@
+"""Amazon Prime Video (100M+ installs).
+
+Table I row: the only service following the Recommended key policy
+(distinct audio and video keys), and the only one falling back to an
+app-embedded DRM when just Widevine L3 is available (the † entries) —
+which is why §IV-D's key-ladder attack recovers media from every app
+still serving discontinued devices *except* Amazon.
+"""
+
+from repro.license_server.policy import AudioProtection
+from repro.ott.profile import OttProfile
+
+PROFILE = OttProfile(
+    name="Amazon Prime Video",
+    service="amazonprime",
+    package="com.amazon.avod.thirdpartyclient",
+    installs_millions=100,
+    audio_protection=AudioProtection.DISTINCT_KEY,
+    enforces_revocation=False,
+    uses_exoplayer=False,  # in-house player
+    custom_drm_on_l3=True,
+)

@@ -1,0 +1,18 @@
+"""Disney+ (100M+ installs).
+
+Table I row: Widevine used; video and audio encrypted (same key —
+Minimum), subtitles clear; **provisioning fails** on the discontinued
+Nexus 5 (revocation enforced, the G# entry).
+"""
+
+from repro.license_server.policy import AudioProtection
+from repro.ott.profile import OttProfile
+
+PROFILE = OttProfile(
+    name="Disney+",
+    service="disneyplus",
+    package="com.disney.disneyplus",
+    installs_millions=100,
+    audio_protection=AudioProtection.SHARED_KEY,
+    enforces_revocation=True,
+)

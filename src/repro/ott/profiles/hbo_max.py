@@ -1,0 +1,19 @@
+"""HBO Max (10M+ installs).
+
+Table I row: video and audio encrypted, subtitles clear; key usage
+unconcluded (regional restriction); provisioning fails on the
+discontinued Nexus 5 (G#).
+"""
+
+from repro.license_server.policy import AudioProtection
+from repro.ott.profile import OttProfile
+
+PROFILE = OttProfile(
+    name="HBO Max",
+    service="hbomax",
+    package="com.hbo.hbonow",
+    installs_millions=10,
+    audio_protection=AudioProtection.SHARED_KEY,
+    enforces_revocation=True,
+    key_metadata_available=False,
+)

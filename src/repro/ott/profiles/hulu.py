@@ -1,0 +1,21 @@
+"""Hulu (50M+ installs).
+
+Table I row: video and audio encrypted; subtitle URIs unobtainable and
+key-usage metadata geo-blocked (the two "-" cells: "we were
+unfortunately not able to conclude our analyses due to some regional
+restrictions"); plays on discontinued phones.
+"""
+
+from repro.license_server.policy import AudioProtection
+from repro.ott.profile import OttProfile
+
+PROFILE = OttProfile(
+    name="Hulu",
+    service="hulu",
+    package="com.hulu.plus",
+    installs_millions=50,
+    audio_protection=AudioProtection.SHARED_KEY,
+    enforces_revocation=False,
+    subtitles_listed=False,
+    key_metadata_available=False,
+)

@@ -1,0 +1,18 @@
+"""myCANAL (10M+ installs).
+
+Table I row: video encrypted but audio **clear** (like Netflix and
+Salto), subtitles clear, Minimum key usage; plays on discontinued
+phones.
+"""
+
+from repro.license_server.policy import AudioProtection
+from repro.ott.profile import OttProfile
+
+PROFILE = OttProfile(
+    name="myCanal",
+    service="mycanal",
+    package="com.canal.android.canal",
+    installs_millions=10,
+    audio_protection=AudioProtection.CLEAR,
+    enforces_revocation=False,
+)

@@ -1,0 +1,23 @@
+"""Netflix (1,000M+ installs).
+
+Table I row: Widevine used; video encrypted, audio **clear**, subtitles
+clear; key usage Minimum; plays on discontinued L3 phones. Netflix is
+also the one service that protects its manifest URIs through the
+Widevine non-DASH secure channel (§IV-C Q2) — and, per the paper's
+responsible disclosure, believed that channel made audio encryption
+unnecessary.
+"""
+
+from repro.license_server.policy import AudioProtection
+from repro.ott.profile import URI_SECURE_CHANNEL, OttProfile
+
+PROFILE = OttProfile(
+    name="Netflix",
+    service="netflix",
+    package="com.netflix.mediaclient",
+    installs_millions=1000,
+    audio_protection=AudioProtection.CLEAR,
+    enforces_revocation=False,
+    uri_protection=URI_SECURE_CHANNEL,
+    uses_exoplayer=False,  # in-house player
+)

@@ -1,0 +1,17 @@
+"""OCS (1M+ installs).
+
+Table I row: video and audio encrypted (Minimum), subtitles clear;
+plays on discontinued phones.
+"""
+
+from repro.license_server.policy import AudioProtection
+from repro.ott.profile import OttProfile
+
+PROFILE = OttProfile(
+    name="OCS",
+    service="ocs",
+    package="com.orange.ocsgo",
+    installs_millions=1,
+    audio_protection=AudioProtection.SHARED_KEY,
+    enforces_revocation=False,
+)

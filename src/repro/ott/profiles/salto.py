@@ -1,0 +1,17 @@
+"""Salto (1M+ installs).
+
+Table I row: video encrypted but audio **clear**, subtitles clear,
+Minimum key usage; plays on discontinued phones.
+"""
+
+from repro.license_server.policy import AudioProtection
+from repro.ott.profile import OttProfile
+
+PROFILE = OttProfile(
+    name="Salto",
+    service="salto",
+    package="fr.salto.app",
+    installs_millions=1,
+    audio_protection=AudioProtection.CLEAR,
+    enforces_revocation=False,
+)

@@ -1,0 +1,18 @@
+"""Showtime (5M+ installs).
+
+Table I row: video and audio encrypted (Minimum), subtitles clear;
+plays on discontinued phones — one of the six apps §IV-D recovers
+DRM-free content from.
+"""
+
+from repro.license_server.policy import AudioProtection
+from repro.ott.profile import OttProfile
+
+PROFILE = OttProfile(
+    name="Showtime",
+    service="showtime",
+    package="com.showtime.standalone",
+    installs_millions=5,
+    audio_protection=AudioProtection.SHARED_KEY,
+    enforces_revocation=False,
+)

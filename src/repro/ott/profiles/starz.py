@@ -1,0 +1,19 @@
+"""Starz (10M+ installs).
+
+Table I row: video and audio encrypted (Minimum key usage); subtitle
+URIs unobtainable ("-"); provisioning fails on the discontinued
+Nexus 5 (G#).
+"""
+
+from repro.license_server.policy import AudioProtection
+from repro.ott.profile import OttProfile
+
+PROFILE = OttProfile(
+    name="Starz",
+    service="starz",
+    package="com.bydeluxe.d3.android.program.starz",
+    installs_millions=10,
+    audio_protection=AudioProtection.SHARED_KEY,
+    enforces_revocation=True,
+    subtitles_listed=False,
+)

@@ -1,0 +1,47 @@
+"""Registry of the ten evaluated OTT apps, in the paper's order."""
+
+from __future__ import annotations
+
+from repro.ott.profile import OttProfile
+from repro.ott.profiles.amazon_prime import PROFILE as AMAZON_PRIME
+from repro.ott.profiles.disneyplus import PROFILE as DISNEY_PLUS
+from repro.ott.profiles.hbo_max import PROFILE as HBO_MAX
+from repro.ott.profiles.hulu import PROFILE as HULU
+from repro.ott.profiles.mycanal import PROFILE as MYCANAL
+from repro.ott.profiles.netflix import PROFILE as NETFLIX
+from repro.ott.profiles.ocs import PROFILE as OCS
+from repro.ott.profiles.salto import PROFILE as SALTO
+from repro.ott.profiles.showtime import PROFILE as SHOWTIME
+from repro.ott.profiles.starz import PROFILE as STARZ
+
+__all__ = ["ALL_PROFILES", "profile_by_name", "profile_by_service"]
+
+# Table I order.
+ALL_PROFILES: tuple[OttProfile, ...] = (
+    NETFLIX,
+    DISNEY_PLUS,
+    AMAZON_PRIME,
+    HULU,
+    HBO_MAX,
+    STARZ,
+    MYCANAL,
+    SHOWTIME,
+    OCS,
+    SALTO,
+)
+
+
+def profile_by_name(name: str) -> OttProfile:
+    """Look a profile up by display name (case-insensitive)."""
+    for profile in ALL_PROFILES:
+        if profile.name.lower() == name.lower():
+            return profile
+    raise KeyError(f"no OTT profile named {name!r}")
+
+
+def profile_by_service(service: str) -> OttProfile:
+    """Look a profile up by service slug."""
+    for profile in ALL_PROFILES:
+        if profile.service == service:
+            return profile
+    raise KeyError(f"no OTT profile with service slug {service!r}")

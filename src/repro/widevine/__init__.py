@@ -1,0 +1,51 @@
+"""The simulated Widevine CDM: keybox, OEMCrypto key ladder, L1/L3
+secret storage, HAL plugin and version arithmetic."""
+
+from repro.widevine.cdm import CdmError, CdmSession, WidevineCdm
+from repro.widevine.keybox import KEYBOX_MAGIC, KEYBOX_SIZE, Keybox, issue_keybox
+from repro.widevine.oemcrypto import (
+    DecryptResult,
+    InsufficientSecurityError,
+    InvalidSessionError,
+    KeyNotLoadedError,
+    NotProvisionedError,
+    OemCrypto,
+    OemCryptoError,
+    SignatureFailureError,
+)
+from repro.widevine.plugin import WidevineHalPlugin
+from repro.widevine.storage import (
+    WHITEBOX_TABLE_MAGIC,
+    InProcessSecretStore,
+    SecretStore,
+    TeeSecretStore,
+    apply_whitebox_mask,
+)
+from repro.widevine.versions import CDM_CURRENT, CDM_NEXUS5, CdmVersion
+
+__all__ = [
+    "CdmError",
+    "CdmSession",
+    "WidevineCdm",
+    "KEYBOX_MAGIC",
+    "KEYBOX_SIZE",
+    "Keybox",
+    "issue_keybox",
+    "DecryptResult",
+    "InsufficientSecurityError",
+    "InvalidSessionError",
+    "KeyNotLoadedError",
+    "NotProvisionedError",
+    "OemCrypto",
+    "OemCryptoError",
+    "SignatureFailureError",
+    "WidevineHalPlugin",
+    "WHITEBOX_TABLE_MAGIC",
+    "InProcessSecretStore",
+    "SecretStore",
+    "TeeSecretStore",
+    "apply_whitebox_mask",
+    "CDM_CURRENT",
+    "CDM_NEXUS5",
+    "CdmVersion",
+]

@@ -1,0 +1,93 @@
+"""The Widevine keybox — the root of trust of the key ladder.
+
+§IV-D: "Keybox: 128-byte structure including a magic number and a
+128-bit AES Device Key. This key is installed by the manufacturer, and
+constitutes the root of trust (RoT)."
+
+Layout used here (128 bytes, mirroring the public structure):
+
+    offset   0  device_id   (32 bytes)
+    offset  32  device_key  (16 bytes, AES-128)
+    offset  48  key_data    (72 bytes, provisioning metadata)
+    offset 120  magic       (4 bytes, b"kbox")
+    offset 124  crc         (4 bytes, CRC-32 of bytes 0..123)
+
+The magic+CRC trailer is what the paper's memory scan keys on.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.crypto.rng import derive_rng
+
+__all__ = ["Keybox", "KEYBOX_SIZE", "KEYBOX_MAGIC", "issue_keybox"]
+
+KEYBOX_SIZE = 128
+KEYBOX_MAGIC = b"kbox"
+_DEVICE_ID_LEN = 32
+_DEVICE_KEY_LEN = 16
+_KEY_DATA_LEN = 72
+
+
+@dataclass(frozen=True)
+class Keybox:
+    """A parsed keybox."""
+
+    device_id: bytes
+    device_key: bytes
+    key_data: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.device_id) != _DEVICE_ID_LEN:
+            raise ValueError("device_id must be 32 bytes")
+        if len(self.device_key) != _DEVICE_KEY_LEN:
+            raise ValueError("device_key must be 16 bytes")
+        if len(self.key_data) != _KEY_DATA_LEN:
+            raise ValueError("key_data must be 72 bytes")
+
+    def serialize(self) -> bytes:
+        body = self.device_id + self.device_key + self.key_data + KEYBOX_MAGIC
+        crc = zlib.crc32(body).to_bytes(4, "big")
+        blob = body + crc
+        assert len(blob) == KEYBOX_SIZE
+        return blob
+
+    @classmethod
+    def parse(cls, blob: bytes) -> "Keybox":
+        if len(blob) != KEYBOX_SIZE:
+            raise ValueError(f"keybox must be {KEYBOX_SIZE} bytes, got {len(blob)}")
+        if blob[120:124] != KEYBOX_MAGIC:
+            raise ValueError("bad keybox magic")
+        if zlib.crc32(blob[:124]).to_bytes(4, "big") != blob[124:]:
+            raise ValueError("keybox CRC mismatch")
+        return cls(
+            device_id=blob[:32],
+            device_key=blob[32:48],
+            key_data=blob[48:120],
+        )
+
+    @classmethod
+    def is_plausible(cls, blob: bytes) -> bool:
+        """Structural check used by memory scanners."""
+        try:
+            cls.parse(blob)
+        except ValueError:
+            return False
+        return True
+
+
+def issue_keybox(serial: str, *, root_seed: bytes = b"widevine-factory") -> Keybox:
+    """Mint the factory keybox for a device serial.
+
+    Deterministic in (serial, root_seed): the provisioning authority
+    can re-derive any device's key from its id — modelling the shared
+    keybox database Google operates.
+    """
+    rng = derive_rng(f"keybox/{serial}", seed=root_seed)
+    return Keybox(
+        device_id=rng.generate(_DEVICE_ID_LEN),
+        device_key=rng.generate(_DEVICE_KEY_LEN),
+        key_data=rng.generate(_KEY_DATA_LEN),
+    )

@@ -1,0 +1,85 @@
+"""The Widevine HAL plugin (``libwvdrmengine.so`` / ``libwvhidl.so``).
+
+Loaded by the Media DRM Server for the Widevine UUID. Decides the
+device's security level (L1 when a TEE is present — mandatory from
+Android 7 — else L3), wires the OEMCrypto engine into the DRM process's
+module map so instrumentation can find it, and exposes the CDM to the
+HAL.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bmff.pssh import WIDEVINE_SYSTEM_ID
+from repro.widevine.cdm import WidevineCdm
+from repro.widevine.keybox import Keybox
+from repro.widevine.oemcrypto import OemCrypto
+from repro.widevine.storage import InProcessSecretStore, TeeSecretStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.android.process import Process
+
+__all__ = ["WidevineHalPlugin"]
+
+
+class WidevineHalPlugin:
+    """HAL-facing wrapper around one device's Widevine CDM."""
+
+    uuid = WIDEVINE_SYSTEM_ID
+
+    def __init__(
+        self,
+        *,
+        process: "Process",
+        keybox: Keybox,
+        has_tee: bool,
+        cdm_version: str,
+        device_model: str,
+        persistent_store: dict[str, bytes],
+        serial: str,
+        clock=None,
+        engine_module_name: str = "libwvdrmengine.so",
+    ):
+        self.security_level = "L1" if has_tee else "L3"
+        if has_tee:
+            # L1: secrets live in the TEE; the DRM process loads a thin
+            # liboemcrypto.so proxy whose calls cross into the trustlet.
+            store: TeeSecretStore | InProcessSecretStore = TeeSecretStore()
+        else:
+            # L3: everything runs inside the DRM process — including the
+            # whitebox-masked keybox (CWE-922, the seed of CVE-2021-0639).
+            store = InProcessSecretStore(process, module_name=engine_module_name)
+        store.install_keybox(keybox)
+
+        self.oemcrypto = OemCrypto(
+            store, serial=serial, cdm_version=cdm_version, clock=clock
+        )
+        self.cdm = WidevineCdm(
+            self.oemcrypto,
+            persistent_store=persistent_store,
+            device_model=device_model,
+        )
+
+        process.load_module(engine_module_name, self)
+        if has_tee:
+            # §II-C: "whenever CDM is required, this library calls
+            # liboemcrypto.so that sends the related requests to the
+            # Widevine TEE trustlet" — so on L1 the _oecc surface shows
+            # up under liboemcrypto.so.
+            process.load_module("liboemcrypto.so", self.oemcrypto)
+        else:
+            # On L3 "no further component is involved": the _oecc
+            # surface lives inside libwvdrmengine.so itself.
+            process.load_module(f"{engine_module_name}#oemcrypto", self.oemcrypto)
+
+    # -- properties exposed through MediaDrm.getPropertyString -------------
+
+    def properties(self) -> dict[str, str]:
+        return {
+            "vendor": WidevineCdm.VENDOR,
+            "version": self.cdm.cdm_version,
+            "description": WidevineCdm.DESCRIPTION,
+            "securityLevel": self.security_level,
+            "systemId": self.uuid.hex(),
+        }

@@ -1,0 +1,135 @@
+"""Where CDM secrets physically live — the L1 / L3 difference.
+
+§IV-D's CVE-2021-0639 is, at bottom, a *storage* bug (CWE-922: insecure
+storage of sensitive information): on L3 the keybox sits in the DRM
+process's address space, protected only by a static whitebox-style XOR
+mask whose constant table ships in the same module. On L1 the keybox
+never leaves the TEE, so the same scan finds nothing.
+
+Two stores implement the same interface:
+
+- :class:`InProcessSecretStore` (L3) mirrors the keybox into a mapped
+  region of the host process (``libwvdrmengine.so:.data``) with the
+  mask table in ``.rodata`` — both scannable by instrumentation;
+- :class:`TeeSecretStore` (L1) keeps everything in the trustlet object,
+  mapping nothing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.crypto.rng import derive_rng
+from repro.widevine.keybox import KEYBOX_SIZE, Keybox
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.android.process import Process
+
+__all__ = [
+    "SecretStore",
+    "InProcessSecretStore",
+    "TeeSecretStore",
+    "WHITEBOX_TABLE_MAGIC",
+    "apply_whitebox_mask",
+]
+
+# Marker preceding the whitebox mask table in .rodata; real whiteboxes
+# are recognizable constant tables too (Arxan's were, per the
+# widevine-l3-decryptor episode).
+WHITEBOX_TABLE_MAGIC = b"WBX1"
+_MASK_LEN = 16
+
+
+def _whitebox_mask(module_seed: bytes) -> bytes:
+    return derive_rng("wv-l3-whitebox", seed=module_seed).generate(_MASK_LEN)
+
+
+def apply_whitebox_mask(device_key: bytes, mask: bytes) -> bytes:
+    """The 'whitebox': a static XOR of the device key.
+
+    Deliberately weak-but-invertible, standing in for the broken
+    AES-128 whitebox of real L3 implementations (Buchanan 2019,
+    Hadad 2020) — the attack recovers the mask from the module and
+    inverts it, it does not magically read the key.
+    """
+    if len(mask) != _MASK_LEN:
+        raise ValueError("mask must be 16 bytes")
+    return bytes(k ^ m for k, m in zip(device_key, mask))
+
+
+class SecretStore:
+    """Interface: hold the keybox and the loaded device RSA key."""
+
+    security_level = "L0"
+
+    def install_keybox(self, keybox: Keybox) -> None:
+        raise NotImplementedError
+
+    def keybox(self) -> Keybox:
+        raise NotImplementedError
+
+    def device_key(self) -> bytes:
+        return self.keybox().device_key
+
+
+class InProcessSecretStore(SecretStore):
+    """L3: secrets live in the host process's memory map."""
+
+    security_level = "L3"
+
+    def __init__(self, process: "Process", *, module_name: str = "libwvdrmengine.so"):
+        self._process = process
+        self._module_name = module_name
+        self._mask = _whitebox_mask(module_seed=module_name.encode())
+        self._data_region = process.map_region(f"{module_name}:.data", KEYBOX_SIZE + 32)
+        rodata = process.map_region(f"{module_name}:.rodata", 64)
+        rodata.write(0, WHITEBOX_TABLE_MAGIC + self._mask)
+        self._keybox: Keybox | None = None
+
+    def install_keybox(self, keybox: Keybox) -> None:
+        self._keybox = keybox
+        # Serialize with the device key masked: structure (ids, magic,
+        # CRC recomputed over the masked body) stays scannable.
+        masked = Keybox(
+            device_id=keybox.device_id,
+            device_key=apply_whitebox_mask(keybox.device_key, self._mask),
+            key_data=keybox.key_data,
+        )
+        self._data_region.write(8, masked.serialize())
+
+    def keybox(self) -> Keybox:
+        if self._keybox is None:
+            raise RuntimeError("no keybox installed")
+        return self._keybox
+
+
+class TeeSecretStore(SecretStore):
+    """L1: secrets live inside the TEE trustlet, unmapped."""
+
+    security_level = "L1"
+
+    def __init__(self) -> None:
+        self._keybox: Keybox | None = None
+
+    def install_keybox(self, keybox: Keybox) -> None:
+        self._keybox = keybox
+
+    def keybox(self) -> Keybox:
+        if self._keybox is None:
+            raise RuntimeError("no keybox installed")
+        return self._keybox
+
+
+def simulate_tee_compromise(store: TeeSecretStore, process: "Process") -> None:
+    """Model a Zhao-style TEE break (WideShears, BlackHat Asia 2021).
+
+    Zhao exploited the QTEE trustlet to read the L1 keybox out of secure
+    memory. We model the *outcome* of such an exploit: the trustlet's
+    secret pages become readable to the attacker, i.e. the raw
+    (unmasked — the TEE needs no whitebox) keybox appears in a mapped
+    region that the standard memory scan then finds. This is the "our
+    PoC works for both L1 and L3" path of §IV-D.
+    """
+    keybox = store.keybox()
+    region = process.map_region("qsee:widevine-trustlet-dump", KEYBOX_SIZE + 16)
+    region.write(8, keybox.serialize())

@@ -1,0 +1,56 @@
+"""CDM version arithmetic and well-known versions.
+
+Q4 hinges on version/patch metadata: the Nexus 5 shipped CDM 3.1.0 and
+stopped receiving updates with Android 6.0.1 (2016), while the current
+CDM at the time of the study was 15.0 — so a revocation-enforcing
+service compares the client's CDM version against a floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+__all__ = ["CdmVersion", "CDM_NEXUS5", "CDM_CURRENT", "SECURITY_LEVELS"]
+
+SECURITY_LEVELS = ("L1", "L2", "L3")
+
+
+@total_ordering
+@dataclass(frozen=True)
+class CdmVersion:
+    """A Widevine CDM version (major.minor.patch)."""
+
+    major: int
+    minor: int = 0
+    patch: int = 0
+
+    @classmethod
+    def parse(cls, raw: str) -> "CdmVersion":
+        parts = raw.split(".")
+        if not 1 <= len(parts) <= 3:
+            raise ValueError(f"bad CDM version {raw!r}")
+        try:
+            numbers = [int(p) for p in parts]
+        except ValueError:
+            raise ValueError(f"bad CDM version {raw!r}") from None
+        while len(numbers) < 3:
+            numbers.append(0)
+        return cls(*numbers)
+
+    def __str__(self) -> str:
+        return f"{self.major}.{self.minor}.{self.patch}"
+
+    def _key(self) -> tuple[int, int, int]:
+        return (self.major, self.minor, self.patch)
+
+    def __lt__(self, other: "CdmVersion") -> bool:
+        if not isinstance(other, CdmVersion):
+            return NotImplemented
+        return self._key() < other._key()
+
+
+# The Nexus 5's last CDM (Android 6.0.1, 2016) — §IV-B "Outdated Device".
+CDM_NEXUS5 = CdmVersion(3, 1, 0)
+# Current CDM at the time of the study (2021).
+CDM_CURRENT = CdmVersion(15, 0, 0)

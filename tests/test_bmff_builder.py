@@ -1,0 +1,178 @@
+"""Fragmented-MP4 builder/reader and Widevine PSSH payloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bmff.boxes import BoxParseError
+from repro.bmff.builder import (
+    build_init_segment,
+    build_media_segment,
+    read_pssh_boxes,
+    read_samples,
+    read_track_info,
+)
+from repro.bmff.cenc import encrypt_sample, iv_sequence
+from repro.bmff.pssh import (
+    WIDEVINE_SYSTEM_ID,
+    WidevinePsshData,
+    build_widevine_pssh,
+    parse_widevine_pssh,
+)
+
+_KEY = bytes(range(16))
+_KID = bytes(reversed(range(16)))
+
+
+class TestInitSegment:
+    def test_clear_video(self):
+        info = read_track_info(build_init_segment(kind="video", codec="synh264"))
+        assert info.kind == "video"
+        assert info.codec == "synh264"
+        assert not info.protected
+        assert info.default_kid is None
+
+    def test_protected_audio(self):
+        init = build_init_segment(kind="audio", codec="synaac", default_kid=_KID)
+        info = read_track_info(init)
+        assert info.kind == "audio"
+        assert info.protected
+        assert info.default_kid == _KID
+        assert info.iv_size == 8
+
+    def test_protected_with_16_byte_iv(self):
+        init = build_init_segment(
+            kind="video", codec="c", default_kid=_KID, iv_size=16
+        )
+        assert read_track_info(init).iv_size == 16
+
+    def test_text_track(self):
+        info = read_track_info(build_init_segment(kind="text", codec="wvtt"))
+        assert info.kind == "text"
+
+    def test_track_id_round_trip(self):
+        init = build_init_segment(kind="video", codec="c", track_id=7)
+        assert read_track_info(init).track_id == 7
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown track kind"):
+            build_init_segment(kind="smellovision", codec="c")
+
+    def test_pssh_embedding(self):
+        pssh = build_widevine_pssh([_KID], provider="acme")
+        init = build_init_segment(
+            kind="video", codec="c", default_kid=_KID, pssh=[pssh]
+        )
+        boxes = read_pssh_boxes(init)
+        assert len(boxes) == 1
+        assert boxes[0].system_id == WIDEVINE_SYSTEM_ID
+
+    def test_no_pssh_in_clear_init(self):
+        assert read_pssh_boxes(build_init_segment(kind="video", codec="c")) == []
+
+    def test_read_track_info_rejects_garbage(self):
+        with pytest.raises((BoxParseError, ValueError)):
+            read_track_info(b"not an mp4 at all")
+
+
+class TestMediaSegment:
+    def test_clear_round_trip(self):
+        samples = [b"sample-%d" % i * 4 for i in range(3)]
+        segment = build_media_segment(1, samples)
+        parsed, protected = read_samples(segment)
+        assert not protected
+        assert [s.data for s in parsed] == samples
+
+    def test_protected_round_trip(self):
+        clear = [bytes([i]) * 50 for i in range(4)]
+        ivs = iv_sequence(b"t", 4)
+        enc = [encrypt_sample(s, _KEY, iv, clear_header=8) for s, iv in zip(clear, ivs)]
+        segment = build_media_segment(2, enc)
+        parsed, protected = read_samples(segment)
+        assert protected
+        assert len(parsed) == 4
+        assert parsed[0].entry.subsamples[0].clear_bytes == 8
+        assert [s.entry.iv for s in parsed] == ivs
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            build_media_segment(1, [])
+
+    def test_mixing_clear_and_protected_rejected(self):
+        enc = encrypt_sample(bytes(20), _KEY, bytes(8))
+        with pytest.raises(TypeError, match="mix"):
+            build_media_segment(1, [enc, b"clear"])
+        with pytest.raises(TypeError, match="mix"):
+            build_media_segment(1, [b"clear", enc])
+
+    def test_read_samples_rejects_garbage(self):
+        with pytest.raises((BoxParseError, ValueError)):
+            read_samples(b"nonsense")
+
+    def test_read_samples_rejects_missing_mdat(self):
+        from repro.bmff.boxes import Box, serialize_boxes
+
+        blob = serialize_boxes([Box(box_type=b"styp", payload=b"msdh")])
+        with pytest.raises(BoxParseError, match="lacks trun or mdat"):
+            read_samples(blob)
+
+    @settings(max_examples=20)
+    @given(
+        samples=st.lists(
+            st.binary(min_size=1, max_size=60), min_size=1, max_size=6
+        )
+    )
+    def test_clear_property_round_trip(self, samples):
+        parsed, _ = read_samples(build_media_segment(9, samples))
+        assert [s.data for s in parsed] == samples
+
+
+class TestWidevinePsshData:
+    def test_round_trip(self):
+        data = WidevinePsshData(
+            key_ids=[_KID], provider="acme", content_id=b"tt001"
+        )
+        parsed = WidevinePsshData.parse(data.serialize())
+        assert parsed.key_ids == [_KID]
+        assert parsed.provider == "acme"
+        assert parsed.content_id == b"tt001"
+        assert parsed.protection_scheme == "cenc"
+
+    def test_empty_fields(self):
+        parsed = WidevinePsshData.parse(WidevinePsshData().serialize())
+        assert parsed.key_ids == []
+        assert parsed.provider == ""
+
+    def test_multiple_key_ids(self):
+        kids = [bytes([i]) * 16 for i in range(5)]
+        parsed = WidevinePsshData.parse(WidevinePsshData(key_ids=kids).serialize())
+        assert parsed.key_ids == kids
+
+    def test_bad_key_id_rejected(self):
+        with pytest.raises(ValueError, match="16 bytes"):
+            WidevinePsshData(key_ids=[b"short"]).serialize()
+
+    def test_truncated_tlv_rejected(self):
+        blob = WidevinePsshData(key_ids=[_KID]).serialize()
+        with pytest.raises(ValueError, match="truncated"):
+            WidevinePsshData.parse(blob[:-3])
+
+    def test_unknown_tags_skipped(self):
+        import struct
+
+        blob = struct.pack(">BH", 99, 4) + b"junk"
+        blob += WidevinePsshData(provider="p").serialize()
+        assert WidevinePsshData.parse(blob).provider == "p"
+
+    def test_parse_widevine_pssh_rejects_other_system(self):
+        from repro.bmff.boxes import PsshBox
+        from repro.bmff.pssh import PLAYREADY_SYSTEM_ID
+
+        box = PsshBox(box_type=b"pssh", system_id=PLAYREADY_SYSTEM_ID)
+        with pytest.raises(ValueError, match="not a Widevine"):
+            parse_widevine_pssh(box)
+
+    def test_build_widevine_pssh_carries_kids_in_both_layers(self):
+        box = build_widevine_pssh([_KID], provider="p", content_id=b"c")
+        assert box.key_ids == [_KID]
+        assert parse_widevine_pssh(box).key_ids == [_KID]

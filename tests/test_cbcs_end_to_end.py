@@ -1,0 +1,122 @@
+"""A whole service packaged with 'cbcs' — playback and attack parity.
+
+The study's services use 'cenc' (the DASH norm), but the substrate must
+treat the scheme as a packaging detail: the same app plays it and the
+same key-ladder attack recovers it.
+"""
+
+import pytest
+
+from repro.android.device import nexus_5, pixel_6
+from repro.bmff.builder import read_track_info
+from repro.core.keyladder_attack import KeyLadderAttack
+from repro.core.media_recovery import MediaRecoveryPipeline
+from repro.dash.packager import TrackCrypto
+from repro.license_server.policy import AudioProtection
+from repro.license_server.provisioning import KeyboxAuthority
+from repro.net.network import Network
+from repro.ott.app import OttApp
+from repro.ott.backend import OttBackend
+from repro.ott.profile import OttProfile
+
+
+@pytest.fixture
+def cbcs_world():
+    """A backend whose packaged assets use the cbcs scheme."""
+    profile = OttProfile(
+        name="CbcsFlix",
+        service="cbcsflix",
+        package="com.cbcsflix.app",
+        installs_millions=1,
+        audio_protection=AudioProtection.SHARED_KEY,
+        enforces_revocation=False,
+    )
+    network = Network()
+    authority = KeyboxAuthority()
+    backend = OttBackend(profile, network, authority)
+
+    # Re-package the catalog under cbcs (same keys, different scheme).
+    from repro.dash.packager import Packager
+    from repro.license_server.policy import assign_track_crypto
+
+    packager = Packager(profile.service, backend.cdn, provider=profile.name)
+    for title in backend.catalog:
+        assignment = assign_track_crypto(backend.policy, title)
+        cbcs_assignment = {
+            rep_id: (
+                TrackCrypto(
+                    key_id=crypto.key_id, key=crypto.key, scheme="cbcs"
+                )
+                if crypto.protected
+                else crypto
+            )
+            for rep_id, crypto in assignment.items()
+        }
+        packaged = packager.package(
+            title,
+            cbcs_assignment,
+            base_path=f"/{profile.service}/cbcs/{title.title_id}",
+        )
+        backend.license_server.register_packaged_title(packaged, title)
+        backend.packaged[title.title_id] = packaged
+    return profile, network, authority, backend
+
+
+class TestCbcsPackaging:
+    def test_track_info_reports_scheme(self, cbcs_world):
+        profile, network, authority, backend = cbcs_world
+        packaged = backend.packaged[next(iter(backend.catalog)).title_id]
+        init_url, _ = packaged.asset_urls["v540"]
+        from repro.net.network import HttpClient
+
+        init = HttpClient(network).get(init_url).body
+        info = read_track_info(init)
+        assert info.scheme == "cbcs"
+        assert info.iv_size == 16
+
+    def test_crypto_forces_16_byte_iv(self):
+        crypto = TrackCrypto(key_id=bytes(16), key=bytes(16), scheme="cbcs")
+        assert crypto.iv_size == 16
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unsupported protection scheme"):
+            TrackCrypto(key_id=bytes(16), key=bytes(16), scheme="cbc1")
+
+
+class TestCbcsPlayback:
+    def test_l1_playback(self, cbcs_world):
+        profile, network, authority, backend = cbcs_world
+        device = pixel_6(network, authority)
+        device.rooted = True
+        result = OttApp(profile, device, backend).play()
+        assert result.ok
+        assert result.video_height == 1080
+
+    def test_l3_playback(self, cbcs_world):
+        profile, network, authority, backend = cbcs_world
+        device = nexus_5(network, authority)
+        device.rooted = True
+        result = OttApp(profile, device, backend).play()
+        assert result.ok
+        assert result.video_height == 540
+
+
+class TestCbcsAttack:
+    def test_key_ladder_scheme_agnostic(self, cbcs_world):
+        """The §IV-D attack does not care how the media was encrypted:
+        keys are keys."""
+        profile, network, authority, backend = cbcs_world
+        device = nexus_5(network, authority)
+        device.rooted = True
+        app = OttApp(profile, device, backend)
+        attack = KeyLadderAttack(device).run(app)
+        assert attack.succeeded
+
+        title_id = next(iter(backend.catalog)).title_id
+        packaged = backend.packaged[title_id]
+        mpd_url = f"https://{profile.cdn_host}{packaged.mpd_path}"
+        recovered = MediaRecoveryPipeline(network).recover(
+            profile.service, mpd_url, attack.content_keys
+        )
+        assert recovered.succeeded
+        assert recovered.best_video_height == 540

@@ -1,0 +1,167 @@
+"""ClearKey: a second DRM system through the same Android HAL."""
+
+import pytest
+
+from repro.android.mediacodec import CryptoInfo, MediaCodec
+from repro.android.mediacrypto import MediaCrypto
+from repro.android.mediadrm import MediaDrm, UnsupportedSchemeException
+from repro.bmff.builder import (
+    build_init_segment,
+    build_media_segment,
+    read_samples,
+    read_track_info,
+)
+from repro.bmff.cenc import encrypt_sample, iv_sequence
+from repro.bmff.pssh import WIDEVINE_SYSTEM_ID, WidevinePsshData
+from repro.clearkey import (
+    CLEARKEY_SYSTEM_ID,
+    ClearKeyCdm,
+    ClearKeyHalPlugin,
+    jwk_key_set,
+)
+from repro.media.codecs import generate_sample, sample_header_length
+
+_KID = bytes([0xC1]) * 16
+_KEY = bytes([0xC2]) * 16
+
+
+@pytest.fixture
+def device(world):
+    device = world.l1_device()
+    device.install_drm_plugin(ClearKeyHalPlugin())
+    return device
+
+
+def _protected_content():
+    samples = [generate_sample("video", "ck/v", i, 60) for i in range(3)]
+    ivs = iv_sequence(b"ck", len(samples))
+    enc = [
+        encrypt_sample(s, _KEY, iv, clear_header=sample_header_length())
+        for s, iv in zip(samples, ivs)
+    ]
+    init = build_init_segment(kind="video", codec="synh264", default_kid=_KID)
+    return init, build_media_segment(1, enc)
+
+
+class TestCdm:
+    def test_session_lifecycle(self):
+        cdm = ClearKeyCdm()
+        session = cdm.open_session("com.app")
+        assert cdm.is_provisioned("com.app")
+        cdm.close_session(session)
+        with pytest.raises(ValueError, match="unknown ClearKey session"):
+            cdm.get_key_request(session, b"")
+
+    def test_key_request_lists_kids(self):
+        import json
+
+        cdm = ClearKeyCdm()
+        session = cdm.open_session("com.app")
+        init_data = WidevinePsshData(key_ids=[_KID]).serialize()
+        request = json.loads(cdm.get_key_request(session, init_data))
+        assert len(request["kids"]) == 1
+
+    def test_jwk_round_trip(self):
+        cdm = ClearKeyCdm()
+        session = cdm.open_session("com.app")
+        loaded = cdm.provide_key_response(session, jwk_key_set({_KID: _KEY}))
+        assert loaded == [_KID]
+
+    def test_bad_jwk_rejected(self):
+        cdm = ClearKeyCdm()
+        session = cdm.open_session("com.app")
+        with pytest.raises(ValueError, match="bad JWK set"):
+            cdm.provide_key_response(session, b"not json")
+
+    def test_short_key_rejected(self):
+        cdm = ClearKeyCdm()
+        session = cdm.open_session("com.app")
+        with pytest.raises(ValueError, match="16 bytes"):
+            cdm.provide_key_response(session, jwk_key_set({_KID: b"short" * 2}))
+
+    def test_decrypt(self):
+        cdm = ClearKeyCdm()
+        session = cdm.open_session("com.app")
+        cdm.provide_key_response(session, jwk_key_set({_KID: _KEY}))
+        sample = encrypt_sample(b"Z" * 48, _KEY, bytes(8))
+        result = cdm.decrypt(session, _KID, sample.data, sample.entry.iv, [])
+        assert result.data == b"Z" * 48
+        assert not result.secure
+
+
+class TestThroughTheHal:
+    def test_both_schemes_supported(self, device):
+        assert MediaDrm.is_crypto_scheme_supported(WIDEVINE_SYSTEM_ID, device)
+        assert MediaDrm.is_crypto_scheme_supported(CLEARKEY_SYSTEM_ID, device)
+
+    def test_unregistered_device_rejects_clearkey(self, world):
+        fresh = world.l3_device(serial="N5-CK")
+        with pytest.raises(UnsupportedSchemeException):
+            MediaDrm(CLEARKEY_SYSTEM_ID, fresh)
+
+    def test_properties(self, device):
+        drm = MediaDrm(CLEARKEY_SYSTEM_ID, device)
+        assert drm.get_property_string("vendor") == "W3C"
+        assert drm.get_property_string("securityLevel") == "L3"
+
+    def test_full_decode_path(self, device):
+        init, segment = _protected_content()
+        info = read_track_info(init)
+        drm = MediaDrm(CLEARKEY_SYSTEM_ID, device, origin="com.tunebox")
+        session = drm.open_session()
+        init_data = WidevinePsshData(key_ids=[_KID]).serialize()
+        request = drm.get_key_request(session, init_data)
+        assert b"kids" in request.data
+        # The "license server" is trivial: anyone with the keys replies.
+        drm.provide_key_response(session, jwk_key_set({_KID: _KEY}))
+
+        crypto = MediaCrypto(drm, session)
+        assert not crypto.requires_secure_decoder_component("video/mp4")
+        codec = MediaCodec.create_decoder("video/mp4")
+        codec.configure(crypto)
+        samples, protected = read_samples(segment, iv_size=info.iv_size)
+        assert protected
+        for sample in samples:
+            frame = codec.queue_secure_input_buffer(
+                sample.data,
+                CryptoInfo(
+                    key_id=_KID,
+                    iv=sample.entry.iv,
+                    subsamples=tuple(
+                        (s.clear_bytes, s.protected_bytes)
+                        for s in sample.entry.subsamples
+                    ),
+                ),
+            )
+            assert frame.valid
+
+    def test_clearkey_playback_invisible_to_widevine_monitor(self, device):
+        """A ClearKey playback is the Q1 true negative: the DRM
+        framework is busy, the _oecc monitor sees nothing."""
+        from repro.core.monitor import DrmApiMonitor
+
+        init, segment = _protected_content()
+        info = read_track_info(init)
+        monitor = DrmApiMonitor(device)
+        with monitor.attached():
+            drm = MediaDrm(CLEARKEY_SYSTEM_ID, device, origin="com.tunebox")
+            session = drm.open_session()
+            drm.provide_key_response(session, jwk_key_set({_KID: _KEY}))
+            crypto = MediaCrypto(drm, session)
+            codec = MediaCodec.create_decoder("video/mp4")
+            codec.configure(crypto)
+            samples, __ = read_samples(segment, iv_size=info.iv_size)
+            codec.queue_secure_input_buffer(
+                samples[0].data,
+                CryptoInfo(
+                    key_id=_KID,
+                    iv=samples[0].entry.iv,
+                    subsamples=tuple(
+                        (s.clear_bytes, s.protected_bytes)
+                        for s in samples[0].entry.subsamples
+                    ),
+                ),
+            )
+            observation = monitor.observation()
+        assert not observation.widevine_used
+        assert observation.security_level is None

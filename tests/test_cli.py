@@ -1,0 +1,49 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_audit_requires_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit"])
+
+
+class TestCommands:
+    def test_list_apps(self, capsys):
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        assert "Netflix" in out
+        assert "custom DRM on L3" in out
+
+    def test_audit_known_app(self, capsys):
+        assert main(["audit", "Salto"]) == 0
+        out = capsys.readouterr().out
+        assert "Salto" in out
+        assert "match" in out
+
+    def test_audit_unknown_app(self, capsys):
+        assert main(["audit", "Blockbuster"]) == 2
+        assert "no OTT profile" in capsys.readouterr().out
+
+    def test_attack_breaks_showtime(self, capsys):
+        assert main(["attack", "Showtime"]) == 0
+        out = capsys.readouterr().out
+        assert "best 540p" in out
+
+    def test_attack_resisted_by_disney(self, capsys):
+        assert main(["attack", "Disney+"]) == 1
+        out = capsys.readouterr().out
+        assert "DRM-free recovery:    no" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Application -> MediaDRM Server: MediaDrm(UUID)" in out
+        assert out.count("Decrypt()") == 1

@@ -1,0 +1,200 @@
+"""The §IV-D key-ladder attack and media recovery, unit-level."""
+
+import pytest
+
+from repro.android.device import nexus_5, pixel_6
+from repro.core.keyladder_attack import KeyLadderAttack
+from repro.core.media_recovery import MediaRecoveryPipeline
+from repro.license_server.policy import AudioProtection
+from repro.license_server.provisioning import KeyboxAuthority
+from repro.net.network import Network
+from repro.ott.app import OttApp
+from repro.ott.backend import OttBackend
+from repro.ott.profile import OttProfile
+
+
+def _world(**overrides):
+    defaults = dict(
+        name="AtkFlix",
+        service="atkflix",
+        package="com.atkflix.app",
+        installs_millions=1,
+        audio_protection=AudioProtection.SHARED_KEY,
+        enforces_revocation=False,
+    )
+    defaults.update(overrides)
+    profile = OttProfile(**defaults)
+    network = Network()
+    authority = KeyboxAuthority()
+    backend = OttBackend(profile, network, authority)
+    return profile, network, authority, backend
+
+
+def _legacy(network, authority):
+    device = nexus_5(network, authority)
+    device.rooted = True
+    return device
+
+
+class TestKeyboxRecovery:
+    def test_recovers_true_keybox_on_l3(self):
+        __, network, authority, __ = _world(service="kbx1")
+        device = _legacy(network, authority)
+        recovered = KeyLadderAttack(device).recover_keybox()
+        assert recovered is not None
+        # Ground truth comparison: the attack recovered the real device key.
+        assert recovered.device_key == device.keybox.device_key
+        assert recovered.device_id == device.keybox.device_id
+
+    def test_fails_on_l1(self):
+        __, network, authority, __ = _world(service="kbx2")
+        device = pixel_6(network, authority)
+        device.rooted = True
+        assert KeyLadderAttack(device).recover_keybox() is None
+
+    def test_requires_root(self):
+        __, network, authority, __ = _world(service="kbx3")
+        device = nexus_5(network, authority)  # not rooted
+        with pytest.raises(PermissionError, match="root"):
+            KeyLadderAttack(device)
+
+
+class TestRsaRecovery:
+    def test_recovers_provisioned_key(self):
+        profile, network, authority, backend = _world(service="rsa1")
+        device = _legacy(network, authority)
+        app = OttApp(profile, device, backend)
+        assert app.play().ok  # provisions as a side effect
+        attack = KeyLadderAttack(device)
+        keybox = attack.recover_keybox()
+        rsa = attack.recover_device_rsa_key(keybox, profile.package)
+        assert rsa is not None
+        from repro.license_server.provisioning import device_rsa_key
+
+        assert rsa.n == device_rsa_key(device.keybox.device_id).n
+
+    def test_no_blob_returns_none(self):
+        profile, network, authority, __ = _world(service="rsa2")
+        device = _legacy(network, authority)
+        attack = KeyLadderAttack(device)
+        keybox = attack.recover_keybox()
+        assert attack.recover_device_rsa_key(keybox, profile.package) is None
+
+
+class TestFullAttack:
+    def test_recovers_content_keys_matching_ground_truth(self):
+        profile, network, authority, backend = _world(service="full1")
+        device = _legacy(network, authority)
+        app = OttApp(profile, device, backend)
+        result = KeyLadderAttack(device).run(app)
+        assert result.succeeded
+        assert result.keybox_recovered and result.rsa_recovered
+        assert result.licenses_observed == 1
+        packaged = backend.packaged[next(iter(backend.catalog)).title_id]
+        for kid, key in result.content_keys.items():
+            assert packaged.content_keys[kid] == key
+        # Only the L3-grantable keys were observed (no HD keys).
+        assert packaged.kid_by_rep["v1080"] not in result.content_keys
+
+    def test_attack_fails_against_revoking_service(self):
+        profile, network, authority, backend = _world(
+            service="full2", enforces_revocation=True
+        )
+        device = _legacy(network, authority)
+        app = OttApp(profile, device, backend)
+        result = KeyLadderAttack(device).run(app)
+        assert not result.succeeded
+        assert result.keybox_recovered  # the device is still broken...
+        assert not result.rsa_recovered  # ...but this service gave it nothing
+
+    def test_attack_fails_against_custom_drm(self):
+        profile, network, authority, backend = _world(
+            service="full3", custom_drm_on_l3=True
+        )
+        device = _legacy(network, authority)
+        app = OttApp(profile, device, backend)
+        result = KeyLadderAttack(device).run(app)
+        assert not result.succeeded
+        assert result.licenses_observed == 0
+        assert any("custom DRM" in n for n in result.notes)
+
+    def test_keys_same_for_all_subscribers(self):
+        """§IV-D: 'OTT apps use the same keys for all their subscribers
+        for a given media' — verified by attacking two accounts."""
+        profile, network, authority, backend = _world(service="full4")
+        device = _legacy(network, authority)
+
+        app_alice = OttApp(profile, device, backend)
+        app_alice.login("alice")
+        keys_alice = KeyLadderAttack(device).run(app_alice).content_keys
+
+        app_bob = OttApp(profile, device, backend)
+        app_bob.login("bob")
+        keys_bob = KeyLadderAttack(device).run(app_bob).content_keys
+
+        assert keys_alice and keys_alice == keys_bob
+
+
+class TestMediaRecovery:
+    def _recover(self, **overrides):
+        profile, network, authority, backend = _world(**overrides)
+        device = _legacy(network, authority)
+        app = OttApp(profile, device, backend)
+        attack = KeyLadderAttack(device).run(app)
+        title_id = next(iter(backend.catalog)).title_id
+        packaged = backend.packaged[title_id]
+        mpd_url = f"https://{profile.cdn_host}{packaged.mpd_path}"
+        recovered = MediaRecoveryPipeline(network).recover(
+            profile.service, mpd_url, attack.content_keys
+        )
+        return backend, recovered
+
+    def test_qhd_ceiling(self):
+        __, recovered = self._recover(service="rec1")
+        assert recovered.succeeded
+        assert recovered.best_video_height == 540
+
+    def test_hd_tracks_not_decryptable(self):
+        __, recovered = self._recover(service="rec2")
+        hd = [t for t in recovered.tracks if t.height in (720, 1080)]
+        assert hd
+        assert all(not t.decrypted and not t.playable for t in hd)
+        assert all("no content key" in t.note for t in hd)
+
+    def test_recovered_tracks_playable_without_account(self):
+        __, recovered = self._recover(service="rec3")
+        qhd = next(t for t in recovered.tracks if t.height == 540)
+        assert qhd.playable
+        assert qhd.clear_init and qhd.clear_segments
+        # Verify with the reference player directly — "played on a PC".
+        from repro.media.player import AssetStatus, probe_track
+
+        assert (
+            probe_track(qhd.clear_init, qhd.clear_segments).status
+            is AssetStatus.CLEAR
+        )
+
+    def test_clear_audio_copied_through(self):
+        __, recovered = self._recover(
+            service="rec4", audio_protection=AudioProtection.CLEAR
+        )
+        audio = [t for t in recovered.tracks if t.kind == "audio"]
+        assert audio
+        assert all(t.playable and not t.was_encrypted for t in audio)
+        assert all("unencrypted" in t.note for t in audio)
+
+    def test_subtitles_recovered(self):
+        __, recovered = self._recover(service="rec5")
+        subs = [t for t in recovered.tracks if t.kind == "text"]
+        assert subs
+        assert all(t.playable for t in subs)
+
+    def test_no_keys_no_video(self):
+        profile, network, authority, backend = _world(service="rec6")
+        title_id = next(iter(backend.catalog)).title_id
+        packaged = backend.packaged[title_id]
+        mpd_url = f"https://{profile.cdn_host}{packaged.mpd_path}"
+        recovered = MediaRecoveryPipeline(network).recover(
+            profile.service, mpd_url, {}
+        )
+        assert not recovered.succeeded

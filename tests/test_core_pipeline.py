@@ -1,0 +1,253 @@
+"""Core methodology units: static analysis, monitor, audit, key usage,
+legacy probe — each against a purpose-built single-service world."""
+
+import pytest
+
+from repro.android.device import nexus_5, pixel_6
+from repro.core.content_audit import ContentAuditor
+from repro.core.key_usage import KeyUsageAnalyzer
+from repro.core.legacy_probe import LegacyDeviceProbe, LegacyOutcome
+from repro.core.monitor import DrmApiMonitor
+from repro.core.static_analysis import analyze_apk
+from repro.license_server.policy import AudioProtection, KeyUsagePolicy
+from repro.license_server.provisioning import KeyboxAuthority
+from repro.media.player import AssetStatus
+from repro.net.network import Network
+from repro.ott.app import OttApp
+from repro.ott.backend import OttBackend
+from repro.ott.profile import URI_SECURE_CHANNEL, OttProfile
+
+
+def _world(**overrides):
+    defaults = dict(
+        name="CoreFlix",
+        service="coreflix",
+        package="com.coreflix.app",
+        installs_millions=1,
+        audio_protection=AudioProtection.SHARED_KEY,
+        enforces_revocation=False,
+    )
+    defaults.update(overrides)
+    profile = OttProfile(**defaults)
+    network = Network()
+    authority = KeyboxAuthority()
+    backend = OttBackend(profile, network, authority)
+    return profile, network, authority, backend
+
+
+def _l1(network, authority):
+    device = pixel_6(network, authority)
+    device.rooted = True
+    return device
+
+
+def _l3(network, authority):
+    device = nexus_5(network, authority)
+    device.rooted = True
+    return device
+
+
+class TestStaticAnalysis:
+    def test_detects_drm_api_use(self):
+        profile, *_ = _world()
+        report = analyze_apk(profile.build_apk())
+        assert report.uses_android_drm_api
+        assert report.uses_media_drm
+        assert report.uses_media_crypto
+        assert report.uses_exoplayer
+        assert report.drm_call_sites
+
+    def test_detects_custom_player(self):
+        profile, *_ = _world(service="inh", uses_exoplayer=False)
+        report = analyze_apk(profile.build_apk())
+        assert report.uses_android_drm_api
+        assert not report.uses_exoplayer
+
+    def test_clean_apk(self):
+        from repro.android.packages import Apk
+
+        apk = Apk(package="com.game", version="1")
+        apk.add_class("com.game.Main", ("android.app.Activity.onCreate",))
+        report = analyze_apk(apk)
+        assert not report.uses_android_drm_api
+
+
+class TestDrmApiMonitor:
+    def test_observation_during_playback_l1(self):
+        profile, network, authority, backend = _world(service="monl1")
+        device = _l1(network, authority)
+        app = OttApp(profile, device, backend)
+        monitor = DrmApiMonitor(device)
+        with monitor.attached():
+            assert app.play().ok
+            observation = monitor.observation()
+        assert observation.widevine_used
+        assert observation.security_level == "L1"
+        assert observation.oecc_call_count > 10
+        assert "_oecc12_decrypt_ctr" in observation.functions_seen
+
+    def test_observation_l3(self):
+        profile, network, authority, backend = _world(service="monl3")
+        device = _l3(network, authority)
+        app = OttApp(profile, device, backend)
+        monitor = DrmApiMonitor(device)
+        with monitor.attached():
+            assert app.play().ok
+            observation = monitor.observation()
+        assert observation.security_level == "L3"
+
+    def test_custom_drm_invisible(self):
+        profile, network, authority, backend = _world(
+            service="moncust", custom_drm_on_l3=True
+        )
+        device = _l3(network, authority)
+        app = OttApp(profile, device, backend)
+        monitor = DrmApiMonitor(device)
+        with monitor.attached():
+            assert app.play().ok
+            observation = monitor.observation()
+        assert not observation.widevine_used
+        assert observation.security_level is None
+
+    def test_observation_requires_attach(self):
+        profile, network, authority, backend = _world(service="monx")
+        monitor = DrmApiMonitor(_l1(network, authority))
+        with pytest.raises(RuntimeError, match="not attached"):
+            monitor.observation()
+
+
+class TestContentAudit:
+    def test_encrypted_service(self):
+        profile, network, authority, backend = _world(service="audenc")
+        device = _l1(network, authority)
+        app = OttApp(profile, device, backend)
+        result = ContentAuditor(device, network).audit(app)
+        assert result.playback.ok
+        assert result.status_for("video") is AssetStatus.ENCRYPTED
+        assert result.status_for("audio") is AssetStatus.ENCRYPTED
+        assert result.status_for("text") is AssetStatus.CLEAR
+        assert result.mpd_bytes is not None
+        # All three video ladder rungs audited plus audio + subs.
+        assert len(result.tracks) == 3 + 2 + 2
+
+    def test_clear_audio_service(self):
+        profile, network, authority, backend = _world(
+            service="audclr", audio_protection=AudioProtection.CLEAR
+        )
+        device = _l1(network, authority)
+        app = OttApp(profile, device, backend)
+        result = ContentAuditor(device, network).audit(app)
+        assert result.status_for("audio") is AssetStatus.CLEAR
+        assert result.status_for("video") is AssetStatus.ENCRYPTED
+
+    def test_unlisted_subtitles_reported_unknown(self):
+        profile, network, authority, backend = _world(
+            service="audnos", subtitles_listed=False
+        )
+        device = _l1(network, authority)
+        app = OttApp(profile, device, backend)
+        result = ContentAuditor(device, network).audit(app)
+        assert result.status_for("text") is None
+
+    def test_secure_channel_manifest_recovered_from_cdm_dump(self):
+        profile, network, authority, backend = _world(
+            service="audsc", uri_protection=URI_SECURE_CHANNEL
+        )
+        device = _l1(network, authority)
+        app = OttApp(profile, device, backend)
+        result = ContentAuditor(device, network).audit(app)
+        assert result.playback.ok
+        assert result.secure_channel_manifest_recovered
+        assert result.mpd_url is not None
+
+    def test_audit_works_on_l3_too(self):
+        # §IV-B: "we perform our experiments for L1 and L3 to assess
+        # that it does not depend on security level".
+        profile, network, authority, backend = _world(service="audl3")
+        device = _l3(network, authority)
+        app = OttApp(profile, device, backend)
+        result = ContentAuditor(device, network).audit(app)
+        assert result.playback.ok
+        assert result.status_for("video") is AssetStatus.ENCRYPTED
+        assert result.observation.security_level == "L3"
+
+
+class TestKeyUsage:
+    def _audit(self, **overrides):
+        profile, network, authority, backend = _world(**overrides)
+        device = _l1(network, authority)
+        app = OttApp(profile, device, backend)
+        audit = ContentAuditor(device, network).audit(app)
+        return app, audit
+
+    def test_shared_key_is_minimum(self):
+        app, audit = self._audit(service="kumin")
+        report = KeyUsageAnalyzer().analyze(app, audit.mpd_bytes)
+        assert report.classification is KeyUsagePolicy.MINIMUM
+        assert report.audio_shares_video_key
+        assert not report.audio_clear
+        assert report.video_keys_distinct_per_resolution
+
+    def test_clear_audio_is_minimum(self):
+        app, audit = self._audit(
+            service="kuclr", audio_protection=AudioProtection.CLEAR
+        )
+        report = KeyUsageAnalyzer().analyze(app, audit.mpd_bytes)
+        assert report.classification is KeyUsagePolicy.MINIMUM
+        assert report.audio_clear
+
+    def test_distinct_keys_is_recommended(self):
+        app, audit = self._audit(
+            service="kurec", audio_protection=AudioProtection.DISTINCT_KEY
+        )
+        report = KeyUsageAnalyzer().analyze(app, audit.mpd_bytes)
+        assert report.classification is KeyUsagePolicy.RECOMMENDED
+
+    def test_geoblocked_metadata_is_unknown(self):
+        app, audit = self._audit(service="kugeo", key_metadata_available=False)
+        report = KeyUsageAnalyzer().analyze(app, audit.mpd_bytes)
+        assert report.classification is None
+        assert any("regional restriction" in n for n in report.notes)
+
+    def test_no_manifest_is_unknown(self):
+        app, __ = self._audit(service="kunone")
+        report = KeyUsageAnalyzer().analyze(app, None)
+        assert report.classification is None
+
+
+class TestLegacyProbe:
+    def test_plays(self):
+        profile, network, authority, backend = _world(service="lgok")
+        device = _l3(network, authority)
+        probe = LegacyDeviceProbe(device).probe(OttApp(profile, device, backend))
+        assert probe.outcome is LegacyOutcome.PLAYS
+        assert probe.content_delivered
+        assert probe.video_height == 540
+        assert probe.observation.widevine_used
+
+    def test_provisioning_failed(self):
+        profile, network, authority, backend = _world(
+            service="lgrev", enforces_revocation=True
+        )
+        device = _l3(network, authority)
+        probe = LegacyDeviceProbe(device).probe(OttApp(profile, device, backend))
+        assert probe.outcome is LegacyOutcome.PROVISIONING_FAILED
+        assert not probe.content_delivered
+        # Widevine was exercised (the provisioning request) even though
+        # content never arrived — the paper's case (2).
+        assert probe.observation.widevine_used
+
+    def test_custom_drm(self):
+        profile, network, authority, backend = _world(
+            service="lgcust", custom_drm_on_l3=True
+        )
+        device = _l3(network, authority)
+        probe = LegacyDeviceProbe(device).probe(OttApp(profile, device, backend))
+        assert probe.outcome is LegacyOutcome.PLAYS_CUSTOM_DRM
+        assert not probe.observation.widevine_used
+
+    def test_rejects_supported_device(self):
+        profile, network, authority, backend = _world(service="lgnew")
+        device = _l1(network, authority)
+        with pytest.raises(ValueError, match="discontinued"):
+            LegacyDeviceProbe(device)

@@ -1,0 +1,87 @@
+"""Table I report model: rendering, lookup, diffing."""
+
+import pytest
+
+from repro.core.report import (
+    DAGGER,
+    EXPECTED_PAPER_TABLE,
+    FULL,
+    HALF,
+    TableOne,
+    TableOneRow,
+    expected_row,
+)
+
+
+def _row(**overrides) -> TableOneRow:
+    defaults = dict(
+        app="TestApp",
+        widevine_used=FULL,
+        video="Encrypted",
+        audio="Encrypted",
+        subtitles="Clear",
+        key_usage="Minimum",
+        legacy_playback=FULL,
+    )
+    defaults.update(overrides)
+    return TableOneRow(**defaults)
+
+
+class TestTableOne:
+    def test_add_and_lookup(self):
+        table = TableOne()
+        table.add(_row())
+        assert table.row_for("TestApp").video == "Encrypted"
+        with pytest.raises(KeyError):
+            table.row_for("Missing")
+
+    def test_render_aligned(self):
+        table = TableOne(rows=[_row(), _row(app="A Much Longer App Name")])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert len({len(line.rstrip()) for line in lines if line}) <= 3
+        assert "OTT" in lines[0]
+        assert "TestApp" in rendered
+
+    def test_cells_tuple(self):
+        cells = _row().cells()
+        assert cells[0] == "TestApp"
+        assert len(cells) == 7
+
+
+class TestPaperComparison:
+    def test_expected_table_has_all_ten(self):
+        assert len(EXPECTED_PAPER_TABLE) == 10
+        assert expected_row("Netflix").audio == "Clear"
+        assert expected_row("Amazon Prime Video").widevine_used == FULL + DAGGER
+        assert expected_row("Starz").legacy_playback == HALF
+
+    def test_expected_row_unknown(self):
+        with pytest.raises(KeyError):
+            expected_row("Quibi")
+
+    def test_diff_reports_missing_rows(self):
+        table = TableOne()
+        diffs = table.diff_against_paper()
+        assert len(diffs) == 10
+        assert all("row missing" in d for d in diffs)
+
+    def test_diff_reports_cell_mismatch(self):
+        table = TableOne(rows=list(EXPECTED_PAPER_TABLE.values()))
+        assert table.matches_paper
+        # Flip one cell.
+        netflix = table.row_for("Netflix")
+        table.rows[table.rows.index(netflix)] = _row(
+            app="Netflix",
+            widevine_used=netflix.widevine_used,
+            video=netflix.video,
+            audio="Encrypted",  # wrong on purpose
+            subtitles=netflix.subtitles,
+            key_usage=netflix.key_usage,
+            legacy_playback=netflix.legacy_playback,
+        )
+        diffs = table.diff_against_paper()
+        assert len(diffs) == 1
+        assert "Netflix / Audio (Q2)" in diffs[0]
+        assert "paper='Clear'" in diffs[0]
+        assert not table.matches_paper

@@ -1,0 +1,102 @@
+"""AES block cipher: FIPS 197 known-answer tests and properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+
+# FIPS 197 Appendix C vectors: (key, plaintext, ciphertext).
+_FIPS_VECTORS = [
+    (
+        "000102030405060708090a0b0c0d0e0f",
+        "00112233445566778899aabbccddeeff",
+        "69c4e0d86a7b0430d8cdb78070b4c55a",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f1011121314151617",
+        "00112233445566778899aabbccddeeff",
+        "dda97ca4864cdfe06eaf70a0ec0d7191",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "00112233445566778899aabbccddeeff",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
+
+@pytest.mark.parametrize("key_hex,pt_hex,ct_hex", _FIPS_VECTORS)
+def test_fips197_encrypt(key_hex, pt_hex, ct_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.encrypt_block(bytes.fromhex(pt_hex)).hex() == ct_hex
+
+
+@pytest.mark.parametrize("key_hex,pt_hex,ct_hex", _FIPS_VECTORS)
+def test_fips197_decrypt(key_hex, pt_hex, ct_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.decrypt_block(bytes.fromhex(ct_hex)).hex() == pt_hex
+
+
+def test_sp800_38a_ecb_vector():
+    # SP 800-38A F.1.1 first block.
+    cipher = AES(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+    pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+    assert cipher.encrypt_block(pt).hex() == "3ad77bb40d7a3660a89ecaf32466ef97"
+
+
+@pytest.mark.parametrize("key_len,rounds", [(16, 10), (24, 12), (32, 14)])
+def test_round_counts(key_len, rounds):
+    assert AES(bytes(key_len)).rounds == rounds
+
+
+@pytest.mark.parametrize("bad_len", [0, 1, 15, 17, 20, 33, 64])
+def test_rejects_bad_key_lengths(bad_len):
+    with pytest.raises(ValueError, match="key must be"):
+        AES(bytes(bad_len))
+
+
+@pytest.mark.parametrize("bad_len", [0, 15, 17, 32])
+def test_rejects_bad_block_lengths(bad_len):
+    cipher = AES(bytes(16))
+    with pytest.raises(ValueError, match="block must be"):
+        cipher.encrypt_block(bytes(bad_len))
+    with pytest.raises(ValueError, match="block must be"):
+        cipher.decrypt_block(bytes(bad_len))
+
+
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    block=st.binary(min_size=16, max_size=16),
+)
+def test_decrypt_inverts_encrypt_128(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(
+    key=st.binary(min_size=32, max_size=32),
+    block=st.binary(min_size=16, max_size=16),
+)
+def test_decrypt_inverts_encrypt_256(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(key=st.binary(min_size=16, max_size=16))
+def test_encryption_changes_block(key):
+    # AES has no fixed points we'd stumble on by chance.
+    block = bytes(BLOCK_SIZE)
+    assert AES(key).encrypt_block(block) != block
+
+
+def test_key_property_round_trips():
+    key = bytes(range(16))
+    assert AES(key).key == key
+
+
+def test_different_keys_different_ciphertexts():
+    block = b"0123456789abcdef"
+    assert AES(bytes(16)).encrypt_block(block) != AES(
+        bytes([1]) + bytes(15)
+    ).encrypt_block(block)

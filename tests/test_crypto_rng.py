@@ -1,0 +1,89 @@
+"""HMAC-DRBG determinism and distribution sanity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.rng import HmacDrbg, derive_rng
+
+
+def test_same_seed_same_stream():
+    a, b = HmacDrbg(b"seed"), HmacDrbg(b"seed")
+    assert a.generate(64) == b.generate(64)
+
+
+def test_different_seeds_different_streams():
+    assert HmacDrbg(b"seed-a").generate(32) != HmacDrbg(b"seed-b").generate(32)
+
+
+def test_stream_advances():
+    rng = HmacDrbg(b"seed")
+    assert rng.generate(16) != rng.generate(16)
+
+
+def test_generate_zero_bytes():
+    assert HmacDrbg(b"s").generate(0) == b""
+
+
+def test_generate_negative_rejected():
+    with pytest.raises(ValueError):
+        HmacDrbg(b"s").generate(-1)
+
+
+def test_reseed_changes_stream():
+    a, b = HmacDrbg(b"seed"), HmacDrbg(b"seed")
+    b.reseed(b"extra entropy")
+    assert a.generate(32) != b.generate(32)
+
+
+def test_derive_rng_label_separation():
+    assert derive_rng("one").generate(16) != derive_rng("two").generate(16)
+
+
+def test_derive_rng_is_reproducible():
+    assert derive_rng("label").generate(16) == derive_rng("label").generate(16)
+
+
+def test_derive_rng_seed_separation():
+    assert (
+        derive_rng("label", seed=b"a").generate(16)
+        != derive_rng("label", seed=b"b").generate(16)
+    )
+
+
+@given(upper=st.integers(min_value=1, max_value=10_000))
+def test_randint_below_in_range(upper):
+    value = HmacDrbg(b"bound-test").randint_below(upper)
+    assert 0 <= value < upper
+
+
+def test_randint_below_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        HmacDrbg(b"s").randint_below(0)
+
+
+def test_randint_covers_small_range():
+    rng = HmacDrbg(b"coverage")
+    seen = {rng.randint_below(4) for _ in range(200)}
+    assert seen == {0, 1, 2, 3}
+
+
+@given(bits=st.integers(min_value=2, max_value=256))
+def test_rand_odd_has_exact_bit_length(bits):
+    value = HmacDrbg(b"odd").rand_odd(bits)
+    assert value.bit_length() == bits
+    assert value % 2 == 1
+
+
+def test_rand_odd_rejects_tiny():
+    with pytest.raises(ValueError):
+        HmacDrbg(b"s").rand_odd(1)
+
+
+def test_byte_distribution_roughly_uniform():
+    data = HmacDrbg(b"dist").generate(16384)
+    counts = [0] * 256
+    for byte in data:
+        counts[byte] += 1
+    mean = len(data) / 256
+    assert all(mean * 0.4 < c < mean * 1.8 for c in counts)

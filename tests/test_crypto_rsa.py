@@ -1,0 +1,161 @@
+"""RSA keygen, OAEP and PSS: round trips, tamper rejection, determinism."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rng import derive_rng
+from repro.crypto.rsa import (
+    RsaPrivateKey,
+    generate_keypair,
+    oaep_decrypt,
+    oaep_encrypt,
+    pss_sign,
+    pss_verify,
+)
+
+
+@pytest.fixture(scope="module")
+def key() -> RsaPrivateKey:
+    return generate_keypair(1024, label="test-suite-1024")
+
+
+@pytest.fixture(scope="module")
+def key2048() -> RsaPrivateKey:
+    return generate_keypair(2048, label="test-suite-2048")
+
+
+class TestKeygen:
+    def test_modulus_bit_length(self, key, key2048):
+        assert key.n.bit_length() == 1024
+        assert key2048.n.bit_length() == 2048
+
+    def test_deterministic_by_label(self):
+        a = generate_keypair(1024, label="det-check")
+        b = generate_keypair(1024, label="det-check")
+        assert a.n == b.n
+
+    def test_label_separation(self):
+        a = generate_keypair(1024, label="label-a")
+        b = generate_keypair(1024, label="label-b")
+        assert a.n != b.n
+
+    def test_cache_returns_same_object(self):
+        assert generate_keypair(1024, label="cache-check") is generate_keypair(
+            1024, label="cache-check"
+        )
+
+    def test_private_public_consistency(self, key):
+        message = 0x1234567890ABCDEF
+        assert key.raw_decrypt(key.public.raw_encrypt(message)) == message
+
+    def test_explicit_rng_bypasses_cache(self):
+        a = generate_keypair(1024, rng=derive_rng("explicit-a"))
+        b = generate_keypair(1024, rng=derive_rng("explicit-b"))
+        assert a.n != b.n
+
+    def test_public_fingerprint_is_32_bytes(self, key):
+        assert len(key.public.fingerprint()) == 32
+
+    def test_export_import_round_trip(self, key):
+        blob = key.export_secret()
+        restored = RsaPrivateKey.import_secret(blob)
+        assert restored == key
+
+    def test_import_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not an exported RSA key"):
+            RsaPrivateKey.import_secret(b"nonsense")
+
+    def test_raw_ops_range_checks(self, key):
+        with pytest.raises(ValueError):
+            key.public.raw_encrypt(key.n)
+        with pytest.raises(ValueError):
+            key.raw_decrypt(key.n + 5)
+
+
+class TestOaep:
+    def test_round_trip(self, key):
+        ct = oaep_encrypt(key.public, b"the session key!")
+        assert oaep_decrypt(key, ct) == b"the session key!"
+
+    def test_round_trip_empty_message(self, key):
+        assert oaep_decrypt(key, oaep_encrypt(key.public, b"")) == b""
+
+    def test_ciphertext_length_is_modulus_length(self, key):
+        assert len(oaep_encrypt(key.public, b"x")) == key.byte_length
+
+    def test_message_too_long_rejected(self, key):
+        limit = key.byte_length - 2 * 32 - 2
+        with pytest.raises(ValueError, match="too long"):
+            oaep_encrypt(key.public, bytes(limit + 1))
+
+    def test_max_length_message_fits(self, key):
+        limit = key.byte_length - 2 * 32 - 2
+        message = bytes(limit)
+        assert oaep_decrypt(key, oaep_encrypt(key.public, message)) == message
+
+    def test_tampered_ciphertext_rejected(self, key):
+        ct = bytearray(oaep_encrypt(key.public, b"secret"))
+        ct[-1] ^= 1
+        with pytest.raises(ValueError, match="OAEP"):
+            oaep_decrypt(key, bytes(ct))
+
+    def test_wrong_length_ciphertext_rejected(self, key):
+        with pytest.raises(ValueError, match="wrong length"):
+            oaep_decrypt(key, b"short")
+
+    def test_label_mismatch_rejected(self, key):
+        ct = oaep_encrypt(key.public, b"secret", label=b"label-1")
+        with pytest.raises(ValueError, match="OAEP"):
+            oaep_decrypt(key, ct, label=b"label-2")
+
+    def test_label_match_accepted(self, key):
+        ct = oaep_encrypt(key.public, b"secret", label=b"label-1")
+        assert oaep_decrypt(key, ct, label=b"label-1") == b"secret"
+
+    def test_wrong_key_rejected(self, key):
+        other = generate_keypair(1024, label="oaep-other")
+        ct = oaep_encrypt(key.public, b"secret")
+        with pytest.raises(ValueError):
+            oaep_decrypt(other, ct)
+
+    @settings(max_examples=10, deadline=None)
+    @given(message=st.binary(max_size=32))
+    def test_round_trip_property(self, key, message):
+        assert oaep_decrypt(key, oaep_encrypt(key.public, message)) == message
+
+
+class TestPss:
+    def test_sign_verify(self, key):
+        sig = pss_sign(key, b"license request")
+        assert pss_verify(key.public, b"license request", sig)
+
+    def test_verify_rejects_other_message(self, key):
+        sig = pss_sign(key, b"license request")
+        assert not pss_verify(key.public, b"other request", sig)
+
+    def test_verify_rejects_tampered_signature(self, key):
+        sig = bytearray(pss_sign(key, b"msg"))
+        sig[0] ^= 1
+        assert not pss_verify(key.public, b"msg", bytes(sig))
+
+    def test_verify_rejects_wrong_length(self, key):
+        assert not pss_verify(key.public, b"msg", b"short")
+
+    def test_verify_rejects_wrong_key(self, key):
+        other = generate_keypair(1024, label="pss-other")
+        sig = pss_sign(key, b"msg")
+        assert not pss_verify(other.public, b"msg", sig)
+
+    def test_2048_bit_operation(self, key2048):
+        sig = pss_sign(key2048, b"big-key message")
+        assert pss_verify(key2048.public, b"big-key message", sig)
+
+    def test_empty_message(self, key):
+        sig = pss_sign(key, b"")
+        assert pss_verify(key.public, b"", sig)
+
+    @settings(max_examples=10, deadline=None)
+    @given(message=st.binary(max_size=64))
+    def test_sign_verify_property(self, key, message):
+        assert pss_verify(key.public, message, pss_sign(key, message))

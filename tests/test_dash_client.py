@@ -1,0 +1,136 @@
+"""DASH client (ExoPlayer analogue): track selection and init-data
+extraction."""
+
+import pytest
+
+from repro.bmff.pssh import build_widevine_pssh
+from repro.dash.client import (
+    MAX_HEIGHT_BY_LEVEL,
+    TrackSelectionError,
+    TrackSelector,
+    extract_widevine_init_data,
+)
+from repro.dash.mpd import AdaptationSet, ContentProtectionTag, Mpd, MpdRepresentation
+
+_KID = bytes(range(16))
+
+
+def _video(rep_id: str, height: int, protections=None) -> MpdRepresentation:
+    return MpdRepresentation(
+        rep_id=rep_id,
+        bandwidth_kbps=height * 4,
+        codecs="synh264",
+        mime_type="video/mp4",
+        init_url=f"https://cdn.x/{rep_id}/init.mp4",
+        segment_urls=[f"https://cdn.x/{rep_id}/seg-0.m4s"],
+        width=height * 16 // 9,
+        height=height,
+        content_protections=protections or [],
+    )
+
+
+def _audio(lang: str) -> AdaptationSet:
+    rep = MpdRepresentation(
+        rep_id=f"a-{lang}",
+        bandwidth_kbps=128,
+        codecs="synaac",
+        mime_type="audio/mp4",
+        init_url=f"https://cdn.x/a-{lang}/init.mp4",
+    )
+    return AdaptationSet(content_type="audio", lang=lang, representations=[rep])
+
+
+def _text(lang: str) -> AdaptationSet:
+    rep = MpdRepresentation(
+        rep_id=f"t-{lang}",
+        bandwidth_kbps=4,
+        codecs="wvtt",
+        mime_type="text/vtt",
+        init_url=f"https://cdn.x/t-{lang}/subs.vtt",
+    )
+    return AdaptationSet(content_type="text", lang=lang, representations=[rep])
+
+
+@pytest.fixture
+def mpd() -> Mpd:
+    pssh = build_widevine_pssh([_KID], provider="x")
+    video_set = AdaptationSet(
+        content_type="video",
+        representations=[
+            _video("v540", 540, [ContentProtectionTag.widevine(pssh.serialize())]),
+            _video("v720", 720),
+            _video("v1080", 1080),
+        ],
+    )
+    return Mpd(
+        title_id="sel00",
+        duration_s=8,
+        adaptation_sets=[video_set, _audio("en"), _audio("fr"), _text("en")],
+    )
+
+
+class TestVideoSelection:
+    def test_highest_under_cap(self, mpd):
+        selector = TrackSelector(mpd)
+        assert selector.select_video(max_height=1080).rep_id == "v1080"
+        assert selector.select_video(max_height=720).rep_id == "v720"
+        assert selector.select_video(max_height=600).rep_id == "v540"
+
+    def test_no_candidate_raises(self, mpd):
+        with pytest.raises(TrackSelectionError, match="under 100p"):
+            TrackSelector(mpd).select_video(max_height=100)
+
+    def test_level_caps(self):
+        assert MAX_HEIGHT_BY_LEVEL["L1"] == 1080
+        assert MAX_HEIGHT_BY_LEVEL["L3"] == 540
+
+
+class TestAudioAndText:
+    def test_audio_by_language(self, mpd):
+        assert TrackSelector(mpd).select_audio("fr").rep_id == "a-fr"
+
+    def test_missing_audio_language(self, mpd):
+        with pytest.raises(TrackSelectionError, match="'de'"):
+            TrackSelector(mpd).select_audio("de")
+
+    def test_text_optional(self, mpd):
+        selector = TrackSelector(mpd)
+        assert selector.select_text("en").rep_id == "t-en"
+        assert selector.select_text("fr") is None
+
+
+class TestSelect:
+    def test_one_call_selection(self, mpd):
+        selection = TrackSelector(mpd).select(
+            security_level="L3", audio_language="en", text_language="en"
+        )
+        assert selection.video.rep_id == "v540"
+        assert selection.audio.rep_id == "a-en"
+        assert selection.text.rep_id == "t-en"
+
+    def test_unknown_level_defaults_to_sub_hd(self, mpd):
+        selection = TrackSelector(mpd).select(
+            security_level="L9", audio_language="en"
+        )
+        assert selection.video.rep_id == "v540"
+        assert selection.text is None
+
+
+class TestInitData:
+    def test_extracts_pssh_payload(self, mpd):
+        selector = TrackSelector(mpd)
+        rep = selector.select_video(max_height=540)
+        data = selector.init_data_for(rep)
+        from repro.bmff.pssh import WidevinePsshData
+
+        assert WidevinePsshData.parse(data).key_ids == [_KID]
+
+    def test_missing_init_data_raises(self, mpd):
+        selector = TrackSelector(mpd)
+        rep = selector.select_video(max_height=720)  # unprotected rung
+        with pytest.raises(TrackSelectionError, match="no Widevine init data"):
+            selector.init_data_for(rep)
+
+    def test_extract_helper_none_for_no_tags(self):
+        assert extract_widevine_init_data([]) is None
+        assert extract_widevine_init_data([ContentProtectionTag.cenc(_KID)]) is None

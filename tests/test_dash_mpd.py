@@ -1,0 +1,150 @@
+"""MPD model: XML round trips, ContentProtection descriptors, errors."""
+
+import pytest
+
+from repro.dash.mpd import (
+    CENC_SCHEME_URI,
+    WIDEVINE_SCHEME_URI,
+    AdaptationSet,
+    ContentProtectionTag,
+    Mpd,
+    MpdParseError,
+    MpdRepresentation,
+)
+
+_KID = bytes(range(16))
+
+
+def _sample_mpd() -> Mpd:
+    video = MpdRepresentation(
+        rep_id="v540",
+        bandwidth_kbps=2160,
+        codecs="synh264",
+        mime_type="video/mp4",
+        init_url="https://cdn.example/v540/init.mp4",
+        segment_urls=[
+            "https://cdn.example/v540/seg-0000.m4s",
+            "https://cdn.example/v540/seg-0001.m4s",
+        ],
+        width=960,
+        height=540,
+        content_protections=[
+            ContentProtectionTag.cenc(_KID),
+            ContentProtectionTag.widevine(b"pssh-bytes"),
+        ],
+    )
+    audio = MpdRepresentation(
+        rep_id="a-en",
+        bandwidth_kbps=128,
+        codecs="synaac",
+        mime_type="audio/mp4",
+        init_url="https://cdn.example/a-en/init.mp4",
+        segment_urls=["https://cdn.example/a-en/seg-0000.m4s"],
+    )
+    return Mpd(
+        title_id="tt01",
+        duration_s=24,
+        adaptation_sets=[
+            AdaptationSet(content_type="video", representations=[video]),
+            AdaptationSet(content_type="audio", lang="en", representations=[audio]),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_basic_fields(self):
+        mpd = Mpd.from_xml(_sample_mpd().to_xml())
+        assert mpd.title_id == "tt01"
+        assert mpd.duration_s == 24
+        assert len(mpd.adaptation_sets) == 2
+
+    def test_video_representation(self):
+        mpd = Mpd.from_xml(_sample_mpd().to_xml())
+        (video,) = mpd.sets_of_type("video")[0].representations
+        assert video.rep_id == "v540"
+        assert video.width == 960
+        assert video.height == 540
+        assert video.bandwidth_kbps == 2160
+        assert len(video.segment_urls) == 2
+        assert video.init_url.endswith("init.mp4")
+
+    def test_content_protection_round_trip(self):
+        mpd = Mpd.from_xml(_sample_mpd().to_xml())
+        (video,) = mpd.sets_of_type("video")[0].representations
+        assert video.protected
+        assert video.default_kid() == _KID
+        schemes = {t.scheme_id_uri for t in video.content_protections}
+        assert schemes == {CENC_SCHEME_URI, WIDEVINE_SCHEME_URI}
+
+    def test_widevine_pssh_payload(self):
+        mpd = Mpd.from_xml(_sample_mpd().to_xml())
+        (video,) = mpd.sets_of_type("video")[0].representations
+        wv = [
+            t
+            for t in video.content_protections
+            if t.scheme_id_uri == WIDEVINE_SCHEME_URI
+        ][0]
+        assert wv.pssh_bytes == b"pssh-bytes"
+
+    def test_audio_language(self):
+        mpd = Mpd.from_xml(_sample_mpd().to_xml())
+        (audio_set,) = mpd.sets_of_type("audio")
+        assert audio_set.lang == "en"
+        assert not audio_set.representations[0].protected
+
+    def test_set_level_protections(self):
+        mpd = _sample_mpd()
+        mpd.adaptation_sets[0].content_protections = [
+            ContentProtectionTag.cenc(_KID)
+        ]
+        parsed = Mpd.from_xml(mpd.to_xml())
+        aset = parsed.sets_of_type("video")[0]
+        assert aset.content_protections[0].default_kid == _KID
+        rep = aset.representations[0]
+        assert len(aset.all_protections(rep)) == 3
+
+
+class TestErrors:
+    def test_not_xml(self):
+        with pytest.raises(MpdParseError, match="bad MPD XML"):
+            Mpd.from_xml(b"definitely { not xml")
+
+    def test_wrong_root(self):
+        with pytest.raises(MpdParseError, match="unexpected root"):
+            Mpd.from_xml(b"<foo/>")
+
+    def test_missing_period(self):
+        xml = (
+            b'<MPD xmlns="urn:mpeg:dash:schema:mpd:2011" '
+            b'mediaPresentationDuration="PT4S"/>'
+        )
+        with pytest.raises(MpdParseError, match="no Period"):
+            Mpd.from_xml(xml)
+
+    def test_bad_kid_attribute(self):
+        xml = _sample_mpd().to_xml().replace(_kid_str().encode(), b"zz-not-hex")
+        with pytest.raises(MpdParseError):
+            Mpd.from_xml(xml)
+
+
+def _kid_str() -> str:
+    h = _KID.hex()
+    return f"{h[:8]}-{h[8:12]}-{h[12:16]}-{h[16:20]}-{h[20:]}"
+
+
+class TestTagHelpers:
+    def test_cenc_tag(self):
+        tag = ContentProtectionTag.cenc(_KID)
+        assert tag.value == "cenc"
+        assert tag.default_kid == _KID
+        assert tag.pssh_bytes is None
+
+    def test_widevine_tag(self):
+        tag = ContentProtectionTag.widevine(b"abc")
+        assert tag.pssh_bytes == b"abc"
+        assert tag.default_kid is None
+
+    def test_sets_of_type(self):
+        mpd = _sample_mpd()
+        assert len(mpd.sets_of_type("video")) == 1
+        assert mpd.sets_of_type("text") == []

@@ -1,0 +1,148 @@
+"""DASH packager: protection decisions, CDN layout, MPD emission."""
+
+import pytest
+
+from repro.bmff.builder import read_pssh_boxes, read_samples, read_track_info
+from repro.crypto.rng import derive_rng
+from repro.dash.mpd import Mpd
+from repro.dash.packager import Packager, TrackCrypto
+from repro.media.content import TrackKind, make_title
+from repro.net.cdn import CdnServer
+from repro.net.http import parse_url
+
+
+@pytest.fixture
+def cdn() -> CdnServer:
+    return CdnServer("cdn.pack.example")
+
+
+@pytest.fixture
+def title():
+    return make_title("pack00", "Packager feature")
+
+
+def _crypto_map(title, *, protect_audio=True):
+    rng = derive_rng("packager-test-keys")
+    crypto = {}
+    for rep in title.representations:
+        if rep.kind is TrackKind.TEXT or (
+            rep.kind is TrackKind.AUDIO and not protect_audio
+        ):
+            crypto[rep.rep_id] = TrackCrypto(None, None)
+        else:
+            crypto[rep.rep_id] = TrackCrypto(rng.generate(16), rng.generate(16))
+    return crypto
+
+
+class TestTrackCrypto:
+    def test_clear(self):
+        assert not TrackCrypto(None, None).protected
+
+    def test_protected(self):
+        assert TrackCrypto(bytes(16), bytes(16)).protected
+
+    def test_half_specified_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            TrackCrypto(bytes(16), None)
+        with pytest.raises(ValueError, match="both"):
+            TrackCrypto(None, bytes(16))
+
+    def test_bad_lengths_rejected(self):
+        with pytest.raises(ValueError, match="16 bytes"):
+            TrackCrypto(bytes(16), bytes(8))
+        with pytest.raises(ValueError, match="16 bytes"):
+            TrackCrypto(bytes(8), bytes(16))
+
+
+class TestPackage:
+    def test_requires_decision_for_every_rep(self, cdn, title):
+        crypto = _crypto_map(title)
+        del crypto["a-en"]
+        with pytest.raises(ValueError, match="no crypto decision"):
+            Packager("svc", cdn).package(title, crypto)
+
+    def test_mpd_round_trips(self, cdn, title):
+        packaged = Packager("svc", cdn).package(title, _crypto_map(title))
+        mpd = Mpd.from_xml(packaged.mpd_xml)
+        assert mpd.title_id == title.title_id
+        assert len(mpd.sets_of_type("video")[0].representations) == 3
+        assert len(mpd.sets_of_type("audio")) == 2
+        assert len(mpd.sets_of_type("text")) == 2
+
+    def test_assets_served_from_cdn(self, cdn, title):
+        packaged = Packager("svc", cdn).package(title, _crypto_map(title))
+        init_url, seg_urls = packaged.asset_urls["v540"]
+        assert len(seg_urls) == title.segment_count
+        init = cdn.handle_path(init_url)
+        info = read_track_info(init)
+        assert info.protected
+
+    def test_protected_segments_have_senc(self, cdn, title):
+        packaged = Packager("svc", cdn).package(title, _crypto_map(title))
+        __, seg_urls = packaged.asset_urls["v540"]
+        segment = cdn.handle_path(seg_urls[0])
+        __, protected = read_samples(segment)
+        assert protected
+
+    def test_clear_audio_segments(self, cdn, title):
+        packaged = Packager("svc", cdn).package(
+            title, _crypto_map(title, protect_audio=False)
+        )
+        init_url, seg_urls = packaged.asset_urls["a-en"]
+        assert not read_track_info(cdn.handle_path(init_url)).protected
+        __, protected = read_samples(cdn.handle_path(seg_urls[0]))
+        assert not protected
+
+    def test_content_keys_registry(self, cdn, title):
+        crypto = _crypto_map(title)
+        packaged = Packager("svc", cdn).package(title, crypto)
+        # 3 video + 2 audio distinct keys in this map.
+        assert len(packaged.content_keys) == 5
+        for rep_id, assignment in crypto.items():
+            if assignment.protected:
+                assert packaged.content_keys[assignment.key_id] == assignment.key
+                assert packaged.kid_by_rep[rep_id] == assignment.key_id
+            else:
+                assert packaged.kid_by_rep[rep_id] is None
+
+    def test_subtitles_always_clear_vtt(self, cdn, title):
+        packaged = Packager("svc", cdn).package(title, _crypto_map(title))
+        url, segments = packaged.asset_urls["t-en"]
+        assert segments == []
+        assert cdn.handle_path(url).startswith(b"WEBVTT")
+
+    def test_pssh_lists_all_title_kids(self, cdn, title):
+        packaged = Packager("svc", cdn).package(title, _crypto_map(title))
+        init_url, _ = packaged.asset_urls["v540"]
+        (pssh,) = read_pssh_boxes(cdn.handle_path(init_url))
+        assert set(pssh.key_ids) == set(packaged.content_keys)
+
+    def test_publish_key_ids_false_omits_cenc_tags(self, cdn, title):
+        packager = Packager("svc", cdn, publish_key_ids=False)
+        packaged = packager.package(title, _crypto_map(title))
+        mpd = Mpd.from_xml(packaged.mpd_xml)
+        for aset in mpd.adaptation_sets:
+            for rep in aset.representations:
+                assert rep.default_kid() is None
+        # But Widevine pssh tags remain: the content is still protected.
+        video = mpd.sets_of_type("video")[0].representations[0]
+        assert video.protected
+
+    def test_mpd_uploaded_to_cdn(self, cdn, title):
+        packaged = Packager("svc", cdn).package(title, _crypto_map(title))
+        assert cdn.handle_path(
+            f"https://{cdn.hostname}{packaged.mpd_path}"
+        ) == packaged.mpd_xml
+
+
+# Helper installed on CdnServer for tests: fetch by URL without a client.
+def _handle_path(self, url: str) -> bytes:
+    from repro.net.http import HttpRequest
+
+    path = parse_url(url).path if "://" in url else url
+    response = self.handle(HttpRequest("GET", f"https://{self.hostname}{path}"))
+    assert response.ok, response.body
+    return response.body
+
+
+CdnServer.handle_path = _handle_path  # type: ignore[attr-defined]

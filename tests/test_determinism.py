@@ -1,0 +1,41 @@
+"""Reproducibility: the whole study is a pure function of the seed."""
+
+from repro import WideLeakStudy
+
+
+class TestDeterminism:
+    def test_two_study_runs_are_bit_identical(self):
+        first = WideLeakStudy.with_default_apps().run().to_json()
+        second = WideLeakStudy.with_default_apps().run().to_json()
+        assert first == second
+
+    def test_attack_recovers_identical_keys_across_worlds(self):
+        from repro.ott.registry import profile_by_name
+
+        keys = []
+        for _ in range(2):
+            study = WideLeakStudy.with_default_apps()
+            outcome = study.run_attack(profile_by_name("Showtime"))
+            keys.append(
+                sorted(
+                    (kid.hex(), key.hex())
+                    for kid, key in outcome.attack.content_keys.items()
+                )
+            )
+        assert keys[0] == keys[1] and keys[0]
+
+
+class TestTopLevelApi:
+    def test_lazy_imports(self):
+        import repro
+
+        assert repro.WideLeakStudy is WideLeakStudy
+        assert repro.TableOne.__name__ == "TableOne"
+        assert repro.__version__ == "1.0.0"
+
+    def test_unknown_attribute(self):
+        import pytest
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.not_a_thing

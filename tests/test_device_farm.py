@@ -1,0 +1,108 @@
+"""Device-matrix behaviour: the discontinued-L1 case (Galaxy S7) and
+cross-device comparisons on the same service."""
+
+import pytest
+
+from repro.android.device import galaxy_s7, nexus_5, pixel_6
+from repro.core.keyladder_attack import KeyLadderAttack
+from repro.core.legacy_probe import LegacyDeviceProbe, LegacyOutcome
+from repro.license_server.policy import AudioProtection
+from repro.license_server.provisioning import KeyboxAuthority
+from repro.net.network import Network
+from repro.ott.app import OttApp
+from repro.ott.backend import OttBackend
+from repro.ott.profile import OttProfile
+
+
+def _world(**overrides):
+    defaults = dict(
+        name="FarmFlix",
+        service="farmflix",
+        package="com.farmflix.app",
+        installs_millions=1,
+        audio_protection=AudioProtection.SHARED_KEY,
+        enforces_revocation=False,
+    )
+    defaults.update(overrides)
+    profile = OttProfile(**defaults)
+    network = Network()
+    authority = KeyboxAuthority()
+    backend = OttBackend(profile, network, authority)
+    return profile, network, authority, backend
+
+
+class TestGalaxyS7:
+    def test_profile(self):
+        network, authority = Network(), KeyboxAuthority()
+        device = galaxy_s7(network, authority)
+        assert device.spec.discontinued
+        assert device.widevine_security_level == "L1"
+        assert device.drm_process.name == "mediadrmserver"
+
+    def test_plays_hd_on_lenient_service(self):
+        profile, network, authority, backend = _world(service="s7l")
+        device = galaxy_s7(network, authority)
+        device.rooted = True
+        result = OttApp(profile, device, backend).play()
+        assert result.ok
+        # Discontinued, but L1: full HD still plays.
+        assert result.video_height == 1080
+
+    def test_revoking_service_refuses_old_l1_cdm(self):
+        profile, network, authority, backend = _world(
+            service="s7r", enforces_revocation=True
+        )
+        device = galaxy_s7(network, authority)
+        device.rooted = True
+        result = OttApp(profile, device, backend).play()
+        assert not result.ok
+        assert result.provisioning_failed
+
+    def test_legacy_probe_accepts_it(self):
+        profile, network, authority, backend = _world(service="s7p")
+        device = galaxy_s7(network, authority)
+        device.rooted = True
+        probe = LegacyDeviceProbe(device).probe(OttApp(profile, device, backend))
+        assert probe.outcome is LegacyOutcome.PLAYS
+        assert probe.observation.security_level == "L1"
+
+    def test_memory_scan_still_fails_despite_discontinuation(self):
+        """Discontinued ≠ broken: the S7's TEE keeps the keybox out of
+        reach — the paper's attack needs the *L3* storage model."""
+        profile, network, authority, backend = _world(service="s7a")
+        device = galaxy_s7(network, authority)
+        device.rooted = True
+        app = OttApp(profile, device, backend)
+        result = KeyLadderAttack(device).run(app)
+        assert result.playback.ok
+        assert not result.keybox_recovered
+        assert not result.succeeded
+
+
+class TestCrossDevice:
+    def test_same_service_both_levels(self):
+        """The paper runs its experiments 'for L1 and L3 to assess that
+        it does not depend on security level' — same service, same
+        title, both devices."""
+        profile, network, authority, backend = _world(service="xdev")
+        l1 = pixel_6(network, authority)
+        l3 = nexus_5(network, authority)
+        for device in (l1, l3):
+            device.rooted = True
+        result_l1 = OttApp(profile, l1, backend).play()
+        result_l3 = OttApp(profile, l3, backend).play()
+        assert result_l1.ok and result_l3.ok
+        assert result_l1.video_height == 1080
+        assert result_l3.video_height == 540
+        # Same audio track, identical protection observed on both.
+        audio_l1 = next(t for t in result_l1.tracks if t.kind == "audio")
+        audio_l3 = next(t for t in result_l3.tracks if t.kind == "audio")
+        assert audio_l1.encrypted == audio_l3.encrypted
+
+    def test_distinct_devices_distinct_keyboxes(self):
+        network, authority = Network(), KeyboxAuthority()
+        a = nexus_5(network, authority, serial="N5-A")
+        b = nexus_5(network, authority, serial="N5-B")
+        assert a.keybox.device_key != b.keybox.device_key
+        assert authority.knows(a.keybox.device_id)
+        assert authority.knows(b.keybox.device_id)

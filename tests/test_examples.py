@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py"),
+    key=lambda p: p.name,
+)
+
+
+@pytest.mark.parametrize("script", _EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_quickstart_reports_match(capsys, monkeypatch):
+    script = next(p for p in _EXAMPLES if p.name == "quickstart.py")
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    assert "Cell-for-cell match" in capsys.readouterr().out
+
+
+def test_break_legacy_device_reports_qhd(capsys, monkeypatch):
+    script = next(p for p in _EXAMPLES if p.name == "break_legacy_device.py")
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "best DRM-free quality: 540p" in out
+    assert "clear" in out

@@ -1,0 +1,239 @@
+"""Failure injection: tampered licenses, corrupted media, broken
+servers — the stack must fail closed, loudly and at the right layer."""
+
+import json
+
+import pytest
+
+from repro.android.device import pixel_6
+from repro.android.mediadrm import MediaDrm, MediaDrmException
+from repro.bmff.builder import read_pssh_boxes
+from repro.bmff.pssh import WIDEVINE_SYSTEM_ID
+from repro.license_server.policy import AudioProtection
+from repro.license_server.protocol import LicenseResponse
+from repro.license_server.provisioning import KeyboxAuthority
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.network import Network
+from repro.ott.app import OttApp
+from repro.ott.backend import OttBackend
+from repro.ott.profile import OttProfile
+
+
+def _world(**overrides):
+    defaults = dict(
+        name="FailFlix",
+        service="failflix",
+        package="com.failflix.app",
+        installs_millions=1,
+        audio_protection=AudioProtection.SHARED_KEY,
+        enforces_revocation=False,
+    )
+    defaults.update(overrides)
+    profile = OttProfile(**defaults)
+    network = Network()
+    authority = KeyboxAuthority()
+    backend = OttBackend(profile, network, authority)
+    device = pixel_6(network, authority)
+    device.rooted = True
+    return profile, network, backend, device
+
+
+def _provisioned_drm(profile, backend, device):
+    drm = MediaDrm(WIDEVINE_SYSTEM_ID, device, origin=profile.package)
+    client = device.new_http_client()
+    request = drm.get_provision_request()
+    response = client.post(
+        f"https://{profile.provisioning_host}/provision", request.data
+    )
+    drm.provide_provision_response(response.body)
+    return drm, client
+
+
+class TestTamperedLicense:
+    def _license_response(self, profile, backend, device):
+        drm, client = _provisioned_drm(profile, backend, device)
+        packaged = backend.packaged[next(iter(backend.catalog)).title_id]
+        init_url, _ = packaged.asset_urls["v540"]
+        (pssh,) = read_pssh_boxes(client.get(init_url).body)
+        session = drm.open_session()
+        request = drm.get_key_request(session, pssh.data)
+        response = client.post(
+            f"https://{profile.license_host}/license", request.data
+        )
+        return drm, session, response.body
+
+    def test_flipped_mac_rejected(self):
+        profile, __, backend, device = _world(service="tl1")
+        drm, session, body = self._license_response(profile, backend, device)
+        message = json.loads(body.decode())
+        message["mac"] = "00" * 32
+        with pytest.raises(MediaDrmException, match="MAC mismatch"):
+            drm.provide_key_response(session, json.dumps(message).encode())
+
+    def test_swapped_wrapped_key_rejected(self):
+        profile, __, backend, device = _world(service="tl2")
+        drm, session, body = self._license_response(profile, backend, device)
+        message = json.loads(body.decode())
+        # Corrupt a wrapped content key: the MAC covers it, so the CDM
+        # must notice before any unwrap happens.
+        message["keys"][0]["wrapped_key"] = "ab" * 32
+        with pytest.raises(MediaDrmException, match="MAC mismatch"):
+            drm.provide_key_response(session, json.dumps(message).encode())
+
+    def test_tampered_derivation_context_rejected(self):
+        profile, __, backend, device = _world(service="tl3")
+        drm, session, body = self._license_response(profile, backend, device)
+        message = json.loads(body.decode())
+        message["derivation_context"] = "00" * 8
+        with pytest.raises(MediaDrmException, match="context mismatch"):
+            drm.provide_key_response(session, json.dumps(message).encode())
+
+    def test_truncated_body_rejected(self):
+        profile, __, backend, device = _world(service="tl4")
+        drm, session, body = self._license_response(profile, backend, device)
+        with pytest.raises(MediaDrmException, match="bad license response"):
+            drm.provide_key_response(session, body[: len(body) // 2])
+
+
+class TestBrokenProvisioning:
+    def test_garbage_provision_response(self):
+        profile, __, backend, device = _world(service="bp1")
+        drm = MediaDrm(WIDEVINE_SYSTEM_ID, device, origin=profile.package)
+        drm.get_provision_request()
+        from repro.android.mediadrm import DeniedByServerException
+
+        with pytest.raises(DeniedByServerException):
+            drm.provide_provision_response(b"\x00\x01\x02 garbage")
+
+    def test_replayed_provision_response_for_other_device(self):
+        profile, network, backend, device_a = _world(service="bp2")
+        authority = KeyboxAuthority()
+        device_b = pixel_6(network, authority, serial="P6-OTHER")
+        device_b.rooted = True
+
+        drm_a = MediaDrm(WIDEVINE_SYSTEM_ID, device_a, origin=profile.package)
+        client = device_a.new_http_client()
+        request = drm_a.get_provision_request()
+        response = client.post(
+            f"https://{profile.provisioning_host}/provision", request.data
+        )
+        # Feed A's provisioning response to B.
+        drm_b = MediaDrm(WIDEVINE_SYSTEM_ID, device_b, origin=profile.package)
+        drm_b.get_provision_request()
+        from repro.android.mediadrm import DeniedByServerException
+
+        with pytest.raises(DeniedByServerException, match="another device"):
+            drm_b.provide_provision_response(response.body)
+
+
+class TestCorruptedCdn:
+    def _corrupt_cdn(self, backend, *, flip_segments=False, drop=False):
+        """Wrap the CDN route to corrupt or drop asset bodies."""
+        original = backend.cdn._serve
+
+        def corrupted(request: HttpRequest) -> HttpResponse:
+            response = original(request)
+            if not response.ok:
+                return response
+            path = request.parsed_url.path
+            if drop and path.endswith(".m4s"):
+                return HttpResponse.not_found("segment vanished")
+            if flip_segments and path.endswith(".m4s"):
+                body = bytearray(response.body)
+                body[len(body) // 2] ^= 0xFF
+                return HttpResponse(status=200, body=bytes(body))
+            return response
+
+        backend.cdn.route("/", corrupted)
+
+    def test_bitflipped_segments_fail_decode(self):
+        profile, __, backend, device = _world(service="cc1")
+        self._corrupt_cdn(backend, flip_segments=True)
+        app = OttApp(profile, device, backend)
+        result = app.play()
+        assert not result.ok
+        # The flip lands either in a clear range (checksum fails) or a
+        # protected range (decrypt garbles) — both must surface.
+        video = next(t for t in result.tracks if t.kind == "video")
+        assert video.frames_valid < video.frames_total
+
+    def test_missing_segments_fail_playback(self):
+        profile, __, backend, device = _world(service="cc2")
+        self._corrupt_cdn(backend, drop=True)
+        app = OttApp(profile, device, backend)
+        result = app.play()
+        assert not result.ok
+
+
+class TestBrokenApi:
+    def test_playback_api_500(self):
+        profile, __, backend, device = _world(service="ba1")
+        backend.api.route(
+            "/playback",
+            lambda request: HttpResponse(status=500, body=b"backend exploded"),
+        )
+        app = OttApp(profile, device, backend)
+        result = app.play()
+        assert not result.ok
+        assert "backend exploded" in result.error
+
+    def test_license_endpoint_garbage(self):
+        profile, __, backend, device = _world(service="ba2")
+        backend.license_server.route(
+            "/license", lambda request: HttpResponse(status=200, body=b"not json")
+        )
+        app = OttApp(profile, device, backend)
+        result = app.play()
+        assert not result.ok
+        assert "license load failed" in result.error
+
+    def test_unresolvable_host_surfaces(self):
+        profile, network, backend, device = _world(service="ba3")
+        app = OttApp(profile, device, backend)
+        app.profile = profile  # unchanged; break DNS instead:
+        network._servers.pop(profile.api_host)
+        with pytest.raises(LookupError, match="unknown host"):
+            app.play()
+
+
+class TestSessionMisuse:
+    def test_decrypt_after_close(self):
+        profile, __, backend, device = _world(service="sm1")
+        drm, client = _provisioned_drm(profile, backend, device)
+        packaged = backend.packaged[next(iter(backend.catalog)).title_id]
+        init_url, seg_urls = packaged.asset_urls["v540"]
+        init = client.get(init_url).body
+        (pssh,) = read_pssh_boxes(init)
+        session = drm.open_session()
+        request = drm.get_key_request(session, pssh.data)
+        response = client.post(
+            f"https://{profile.license_host}/license", request.data
+        )
+        drm.provide_key_response(session, response.body)
+        drm.close_session(session)
+        with pytest.raises(MediaDrmException, match="not open"):
+            drm.get_key_request(session, pssh.data)
+
+    def test_two_sessions_do_not_share_keys(self):
+        profile, __, backend, device = _world(service="sm2")
+        drm, client = _provisioned_drm(profile, backend, device)
+        packaged = backend.packaged[next(iter(backend.catalog)).title_id]
+        init_url, _ = packaged.asset_urls["v540"]
+        init = client.get(init_url).body
+        (pssh,) = read_pssh_boxes(init)
+        from repro.bmff.builder import read_track_info
+
+        kid = read_track_info(init).default_kid
+
+        licensed = drm.open_session()
+        request = drm.get_key_request(licensed, pssh.data)
+        response = client.post(
+            f"https://{profile.license_host}/license", request.data
+        )
+        drm.provide_key_response(licensed, response.body)
+
+        unlicensed = drm.open_session()
+        from repro.widevine.oemcrypto import KeyNotLoadedError
+
+        with pytest.raises(KeyNotLoadedError):
+            drm._cdm.decrypt(unlicensed, kid, bytes(16), bytes(8), [])

@@ -1,0 +1,198 @@
+"""Frida analogue: attach/detach, hook records, memory scanning,
+the OEMCrypto monitor and SSL repinning."""
+
+import pytest
+
+from repro.instrumentation.frida import FridaSession
+from repro.instrumentation.hooks import OeccMonitor
+from repro.instrumentation.memscan import (
+    find_whitebox_mask,
+    scan_for_keybox,
+    scan_for_pattern,
+)
+from repro.widevine.keybox import Keybox
+
+
+class TestFridaSession:
+    def test_attach_requires_root(self, world):
+        device = world.l1_device()
+        device.rooted = False
+        with pytest.raises(PermissionError, match="rooted"):
+            FridaSession.attach(device, "mediadrmserver")
+
+    def test_attach_unknown_process(self, world):
+        device = world.l1_device()
+        with pytest.raises(LookupError):
+            FridaSession.attach(device, "nonexistent")
+
+    def test_attach_marks_process(self, world):
+        device = world.l1_device()
+        session = FridaSession.attach(device, "mediadrmserver")
+        assert "frida" in device.drm_process.attached_instruments
+        session.detach()
+        assert "frida" not in device.drm_process.attached_instruments
+
+    def test_enumerate_oecc_functions(self, world):
+        device = world.l1_device()
+        with FridaSession.attach(device, "mediadrmserver") as session:
+            functions = session.enumerate_module_functions("_oecc")
+            assert functions
+            modules = {m for m, _ in functions}
+            assert any("liboemcrypto" in m for m in modules)
+
+    def test_hook_records_call(self, world):
+        device = world.l1_device()
+        oc = device.widevine_plugin.oemcrypto
+        with FridaSession.attach(device, "mediadrmserver") as session:
+            session.hook_function("liboemcrypto.so", "_oecc05_open_session")
+            oc._oecc05_open_session()
+            assert len(session.records) == 1
+            record = session.records[0]
+            assert record.function == "_oecc05_open_session"
+            assert record.retval is not None
+            assert record.error is None
+
+    def test_hook_records_exception(self, world):
+        device = world.l1_device()
+        oc = device.widevine_plugin.oemcrypto
+        with FridaSession.attach(device, "mediadrmserver") as session:
+            session.hook_function("liboemcrypto.so", "_oecc08_generate_nonce")
+            with pytest.raises(Exception):
+                oc._oecc08_generate_nonce(b"\xff\xff\xff\xff")
+            assert session.records[0].error is not None
+
+    def test_detach_restores_behaviour(self, world):
+        device = world.l1_device()
+        oc = device.widevine_plugin.oemcrypto
+        session = FridaSession.attach(device, "mediadrmserver")
+        session.hook_function("liboemcrypto.so", "_oecc05_open_session")
+        session.detach()
+        before = len(session.records)
+        oc._oecc05_open_session()
+        assert len(session.records) == before
+
+    def test_hook_after_detach_rejected(self, world):
+        device = world.l1_device()
+        session = FridaSession.attach(device, "mediadrmserver")
+        session.detach()
+        with pytest.raises(RuntimeError, match="detached"):
+            session.hook_function("liboemcrypto.so", "_oecc05_open_session")
+
+    def test_on_enter_and_on_leave_callbacks(self, world):
+        device = world.l1_device()
+        oc = device.widevine_plugin.oemcrypto
+        seen = []
+        with FridaSession.attach(device, "mediadrmserver") as session:
+            session.hook_function(
+                "liboemcrypto.so",
+                "_oecc05_open_session",
+                on_enter=lambda r: seen.append("enter"),
+                on_leave=lambda r: seen.append("leave"),
+            )
+            oc._oecc05_open_session()
+        assert seen == ["enter", "leave"]
+
+    def test_hook_pattern_covers_surface(self, world):
+        device = world.l1_device()
+        with FridaSession.attach(device, "mediadrmserver") as session:
+            hooks = session.hook_pattern("_oecc")
+            assert len(hooks) >= 15
+
+
+class TestMemoryScan:
+    def test_pattern_scan(self, world):
+        device = world.l3_device()
+        matches = scan_for_pattern(device.drm_process, b"kbox")
+        assert matches
+
+    def test_pattern_scan_rejects_empty(self, world):
+        device = world.l3_device()
+        with pytest.raises(ValueError, match="empty pattern"):
+            scan_for_pattern(device.drm_process, b"")
+
+    def test_keybox_scan_finds_structure_on_l3(self, world):
+        device = world.l3_device()
+        matches = scan_for_keybox(device.drm_process)
+        assert len(matches) == 1
+        keybox = Keybox.parse(matches[0].data)
+        assert keybox.device_id == device.keybox.device_id
+        # The scanned device key is the MASKED one, not the real key.
+        assert keybox.device_key != device.keybox.device_key
+
+    def test_keybox_scan_empty_on_l1(self, world):
+        device = world.l1_device()
+        assert scan_for_keybox(device.drm_process) == []
+
+    def test_whitebox_mask_found_on_l3(self, world):
+        device = world.l3_device()
+        mask = find_whitebox_mask(device.drm_process)
+        assert mask is not None
+        assert len(mask) == 16
+
+    def test_whitebox_mask_absent_on_l1(self, world):
+        device = world.l1_device()
+        assert find_whitebox_mask(device.drm_process) is None
+
+
+class TestOeccMonitor:
+    def test_classifies_l1(self, world):
+        device = world.l1_device()
+        with FridaSession.attach(device, "mediadrmserver") as session:
+            monitor = OeccMonitor(session)
+            monitor.install()
+            device.widevine_plugin.oemcrypto._oecc05_open_session()
+            assert monitor.widevine_active()
+            assert monitor.observed_security_level() == "L1"
+
+    def test_classifies_l3(self, world):
+        device = world.l3_device()
+        with FridaSession.attach(device, "mediaserver") as session:
+            monitor = OeccMonitor(session)
+            monitor.install()
+            device.widevine_plugin.oemcrypto._oecc05_open_session()
+            assert monitor.observed_security_level() == "L3"
+
+    def test_no_calls_no_level(self, world):
+        device = world.l1_device()
+        with FridaSession.attach(device, "mediadrmserver") as session:
+            monitor = OeccMonitor(session)
+            monitor.install()
+            assert not monitor.widevine_active()
+            assert monitor.observed_security_level() is None
+
+    def test_buffer_dumps(self, world):
+        device = world.l1_device()
+        oc = device.widevine_plugin.oemcrypto
+        with FridaSession.attach(device, "mediadrmserver") as session:
+            monitor = OeccMonitor(session)
+            monitor.install()
+            sid = oc._oecc05_open_session()
+            oc._oecc07_generate_derived_keys(sid, b"the-derivation-context")
+            dumps = monitor.dumps_for("_oecc07_generate_derived_keys", "in")
+            assert dumps == [b"the-derivation-context"]
+
+    def test_generic_decrypt_output_dumped(self, world):
+        device = world.l1_device()
+        oc = device.widevine_plugin.oemcrypto
+        with FridaSession.attach(device, "mediadrmserver") as session:
+            monitor = OeccMonitor(session)
+            monitor.install()
+            sid = oc._oecc05_open_session()
+            oc._oecc07_generate_derived_keys(sid, b"ctx")
+            iv = bytes(16)
+            ct = oc._oecc30_generic_encrypt(sid, b"secret manifest", iv)
+            clear = oc._oecc31_generic_decrypt(sid, ct, iv)
+            assert clear == b"secret manifest"
+            outs = monitor.dumps_for("_oecc31_generic_decrypt", "out")
+            assert b"secret manifest" in outs
+
+    def test_clear_resets_state(self, world):
+        device = world.l1_device()
+        oc = device.widevine_plugin.oemcrypto
+        with FridaSession.attach(device, "mediadrmserver") as session:
+            monitor = OeccMonitor(session)
+            monitor.install()
+            oc._oecc05_open_session()
+            monitor.clear()
+            assert not monitor.widevine_active()
+            assert monitor.dumps == []

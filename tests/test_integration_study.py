@@ -1,0 +1,153 @@
+"""Integration: the full ten-app study must regenerate the paper's
+Table I cell for cell, and the Figure 1 message sequence must match."""
+
+import pytest
+
+from repro.core.figures import FIGURE_1_ARROWS, collapse_decode_loop
+from repro.core.legacy_probe import LegacyOutcome
+from repro.core.report import EXPECTED_PAPER_TABLE
+from repro.license_server.policy import KeyUsagePolicy
+from repro.media.player import AssetStatus
+from repro.ott.registry import ALL_PROFILES
+
+
+class TestTableOne:
+    def test_row_count(self, study_result):
+        assert len(study_result.table.rows) == 10
+
+    def test_matches_paper_exactly(self, study_result):
+        assert study_result.table.diff_against_paper() == []
+        assert study_result.table.matches_paper
+
+    @pytest.mark.parametrize("app_name", list(EXPECTED_PAPER_TABLE))
+    def test_each_row(self, study_result, app_name):
+        assert study_result.table.row_for(app_name) == EXPECTED_PAPER_TABLE[app_name]
+
+    def test_render_contains_all_apps(self, study_result):
+        rendered = study_result.table.render()
+        for profile in ALL_PROFILES:
+            assert profile.name in rendered
+
+
+class TestQ1Findings:
+    def test_all_apps_use_widevine(self, study_result):
+        """§IV-C Q1: 'All the evaluated apps depend on Widevine'."""
+        for name, app in study_result.apps.items():
+            assert app.audit.observation.widevine_used, name
+
+    def test_l1_popular_on_modern_device(self, study_result):
+        for name, app in study_result.apps.items():
+            assert app.audit.observation.security_level == "L1", name
+
+    def test_static_analysis_confirms_drm_api(self, study_result):
+        for name, app in study_result.apps.items():
+            assert app.static.uses_android_drm_api, name
+
+
+class TestQ2Findings:
+    def test_video_always_encrypted(self, study_result):
+        for name, app in study_result.apps.items():
+            assert app.audit.status_for("video") is AssetStatus.ENCRYPTED, name
+
+    def test_clear_audio_trio(self, study_result):
+        """Netflix, myCanal and Salto deliver audio in clear."""
+        clear_audio = {
+            name
+            for name, app in study_result.apps.items()
+            if app.audit.status_for("audio") is AssetStatus.CLEAR
+        }
+        assert clear_audio == {"Netflix", "myCanal", "Salto"}
+
+    def test_subtitles_never_encrypted(self, study_result):
+        for name, app in study_result.apps.items():
+            status = app.audit.status_for("text")
+            assert status in (AssetStatus.CLEAR, None), name
+
+    def test_subtitle_gaps_match_paper(self, study_result):
+        missing = {
+            name
+            for name, app in study_result.apps.items()
+            if app.audit.status_for("text") is None
+        }
+        assert missing == {"Hulu", "Starz"}
+
+    def test_netflix_secure_channel_recovered(self, study_result):
+        netflix = study_result.apps["Netflix"]
+        assert netflix.audit.secure_channel_manifest_recovered
+
+    def test_only_netflix_uses_secure_channel(self, study_result):
+        for name, app in study_result.apps.items():
+            if name != "Netflix":
+                assert not app.audit.secure_channel_manifest_recovered, name
+
+
+class TestQ3Findings:
+    def test_amazon_only_recommended(self, study_result):
+        recommended = {
+            name
+            for name, app in study_result.apps.items()
+            if app.key_usage.classification is KeyUsagePolicy.RECOMMENDED
+        }
+        assert recommended == {"Amazon Prime Video"}
+
+    def test_regional_gaps(self, study_result):
+        unknown = {
+            name
+            for name, app in study_result.apps.items()
+            if app.key_usage.classification is None
+        }
+        assert unknown == {"Hulu", "HBO Max"}
+
+    def test_video_keys_distinct_everywhere_attributable(self, study_result):
+        """'all evaluated OTT apps properly encrypt their videos with
+        different keys depending on the resolution'."""
+        for name, app in study_result.apps.items():
+            if app.key_usage.classification is not None:
+                assert app.key_usage.video_keys_distinct_per_resolution, name
+
+
+class TestQ4Findings:
+    def test_revoking_trio_fails_provisioning(self, study_result):
+        failed = {
+            name
+            for name, app in study_result.apps.items()
+            if app.legacy.outcome is LegacyOutcome.PROVISIONING_FAILED
+        }
+        assert failed == {"Disney+", "HBO Max", "Starz"}
+
+    def test_seven_apps_serve_the_nexus5(self, study_result):
+        served = {
+            name
+            for name, app in study_result.apps.items()
+            if app.legacy.content_delivered
+        }
+        assert len(served) == 7
+        assert "Amazon Prime Video" in served
+
+    def test_amazon_uses_custom_drm_on_legacy(self, study_result):
+        amazon = study_result.apps["Amazon Prime Video"]
+        assert amazon.legacy.outcome is LegacyOutcome.PLAYS_CUSTOM_DRM
+
+    def test_legacy_playback_capped_at_qhd(self, study_result):
+        for name, app in study_result.apps.items():
+            if app.legacy.content_delivered:
+                assert app.legacy.video_height == 540, name
+
+
+class TestFigureOne:
+    """The playback message sequence of Figure 1."""
+
+    def test_playback_trace_matches_figure(self, full_study):
+        from repro.ott.app import OttApp
+        from repro.ott.registry import profile_by_name
+
+        profile = profile_by_name("Showtime")
+        device = full_study.l1_device
+        app = OttApp(profile, device, full_study.backends[profile.service])
+        app.play()  # provision + warm up
+        device.trace.clear()
+        result = app.play()
+        assert result.ok
+
+        deduped = collapse_decode_loop(device.trace.labels())
+        assert tuple(deduped) == FIGURE_1_ARROWS

@@ -1,0 +1,164 @@
+"""Time-bounded licenses: the simulated clock and expiry enforcement."""
+
+import pytest
+
+from repro.android.clock import SimClock
+from repro.android.device import pixel_6
+from repro.android.mediadrm import MediaDrm
+from repro.bmff.builder import read_pssh_boxes, read_track_info, read_samples
+from repro.bmff.pssh import WIDEVINE_SYSTEM_ID
+from repro.license_server.policy import AudioProtection
+from repro.license_server.provisioning import KeyboxAuthority
+from repro.net.network import Network
+from repro.ott.backend import OttBackend
+from repro.ott.profile import OttProfile
+from repro.widevine.oemcrypto import KeysExpiredError
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(10)
+        clock.advance(2.5)
+        assert clock.now() == 12.5
+
+    def test_no_time_travel(self):
+        with pytest.raises(ValueError, match="forward"):
+            SimClock().advance(-1)
+
+
+def _bounded_world(duration_s: int | None):
+    profile = OttProfile(
+        name="ExpFlix",
+        service=f"expf{duration_s or 0}",
+        package="com.expflix.app",
+        installs_millions=1,
+        audio_protection=AudioProtection.SHARED_KEY,
+        enforces_revocation=False,
+    )
+    network = Network()
+    authority = KeyboxAuthority()
+    backend = OttBackend(profile, network, authority)
+    if duration_s is not None:
+        # Rebuild the license server policy with a bounded duration.
+        from dataclasses import replace
+
+        backend.license_server.policy = replace(
+            backend.license_server.policy, license_duration_s=duration_s
+        )
+    device = pixel_6(network, authority)
+    device.rooted = True
+    return profile, backend, device
+
+
+def _licensed_session(profile, backend, device):
+    drm = MediaDrm(WIDEVINE_SYSTEM_ID, device, origin=profile.package)
+    client = device.new_http_client()
+    request = drm.get_provision_request()
+    response = client.post(
+        f"https://{profile.provisioning_host}/provision", request.data
+    )
+    drm.provide_provision_response(response.body)
+    packaged = backend.packaged[next(iter(backend.catalog)).title_id]
+    init_url, seg_urls = packaged.asset_urls["v540"]
+    init = client.get(init_url).body
+    (pssh,) = read_pssh_boxes(init)
+    info = read_track_info(init)
+    session = drm.open_session()
+    key_request = drm.get_key_request(session, pssh.data)
+    license_response = client.post(
+        f"https://{profile.license_host}/license", key_request.data
+    )
+    drm.provide_key_response(session, license_response.body)
+    segment = client.get(seg_urls[0]).body
+    samples, __ = read_samples(segment, iv_size=info.iv_size)
+    return drm, session, info, samples
+
+
+class TestLicenseExpiry:
+    def test_decrypt_works_within_duration(self):
+        profile, backend, device = _bounded_world(3600)
+        drm, session, info, samples = _licensed_session(profile, backend, device)
+        device.clock.advance(3599)
+        result = drm._cdm.decrypt(
+            session,
+            info.default_kid,
+            samples[0].data,
+            samples[0].entry.iv,
+            [(s.clear_bytes, s.protected_bytes) for s in samples[0].entry.subsamples],
+        )
+        assert result.handle is not None or result.data is not None
+
+    def test_decrypt_fails_after_expiry(self):
+        profile, backend, device = _bounded_world(3600)
+        drm, session, info, samples = _licensed_session(profile, backend, device)
+        device.clock.advance(3601)
+        with pytest.raises(KeysExpiredError, match="expired"):
+            drm._cdm.decrypt(
+                session,
+                info.default_kid,
+                samples[0].data,
+                samples[0].entry.iv,
+                [
+                    (s.clear_bytes, s.protected_bytes)
+                    for s in samples[0].entry.subsamples
+                ],
+            )
+
+    def test_relicensing_resets_the_clock(self):
+        profile, backend, device = _bounded_world(3600)
+        drm, session, info, samples = _licensed_session(profile, backend, device)
+        device.clock.advance(4000)
+        # Fresh license on a fresh session: decrypt works again.
+        drm2, session2, info2, samples2 = _licensed_session(
+            profile, backend, device
+        )
+        result = drm2._cdm.decrypt(
+            session2,
+            info2.default_kid,
+            samples2[0].data,
+            samples2[0].entry.iv,
+            [
+                (s.clear_bytes, s.protected_bytes)
+                for s in samples2[0].entry.subsamples
+            ],
+        )
+        assert result is not None
+
+    def test_unbounded_policy_never_expires(self):
+        profile, backend, device = _bounded_world(None)
+        drm, session, info, samples = _licensed_session(profile, backend, device)
+        device.clock.advance(10**9)
+        result = drm._cdm.decrypt(
+            session,
+            info.default_kid,
+            samples[0].data,
+            samples[0].entry.iv,
+            [(s.clear_bytes, s.protected_bytes) for s in samples[0].entry.subsamples],
+        )
+        assert result is not None
+
+    def test_duration_carried_in_license_control(self):
+        profile, backend, device = _bounded_world(1234)
+        drm, client = None, device.new_http_client()
+        drm = MediaDrm(WIDEVINE_SYSTEM_ID, device, origin=profile.package)
+        request = drm.get_provision_request()
+        response = client.post(
+            f"https://{profile.provisioning_host}/provision", request.data
+        )
+        drm.provide_provision_response(response.body)
+        packaged = backend.packaged[next(iter(backend.catalog)).title_id]
+        init_url, _ = packaged.asset_urls["v540"]
+        (pssh,) = read_pssh_boxes(client.get(init_url).body)
+        session = drm.open_session()
+        key_request = drm.get_key_request(session, pssh.data)
+        license_response = client.post(
+            f"https://{profile.license_host}/license", key_request.data
+        )
+        from repro.license_server.protocol import LicenseResponse
+
+        parsed = LicenseResponse.parse(license_response.body)
+        assert all(k.control.license_duration_s == 1234 for k in parsed.keys)

@@ -1,0 +1,138 @@
+"""Service policies: key assignment per Table I's regimes, revocation."""
+
+import pytest
+
+from repro.license_server.policy import (
+    AudioProtection,
+    KeyUsagePolicy,
+    RevocationPolicy,
+    ServicePolicy,
+    assign_track_crypto,
+)
+from repro.media.content import TrackKind, make_title
+from repro.widevine.versions import CdmVersion
+
+
+def _policy(audio: AudioProtection, **kwargs) -> ServicePolicy:
+    return ServicePolicy(
+        service="svc",
+        audio_protection=audio,
+        revocation=RevocationPolicy(),
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def title():
+    return make_title("svc00", "Policy feature")
+
+
+class TestRevocationPolicy:
+    def test_unenforced_allows_everything(self):
+        policy = RevocationPolicy()
+        assert not policy.enforced
+        assert policy.allows("3.1.0")
+        assert policy.allows("15.0.0")
+
+    def test_enforced_floor(self):
+        policy = RevocationPolicy(min_cdm_version=CdmVersion(14))
+        assert policy.enforced
+        assert not policy.allows("3.1.0")
+        assert not policy.allows("13.9.9")
+        assert policy.allows("14.0.0")
+        assert policy.allows("15.0.0")
+
+
+class TestKeyAssignment:
+    def test_video_always_encrypted_distinct_per_resolution(self, title):
+        for audio in AudioProtection:
+            assignment = assign_track_crypto(_policy(audio), title)
+            video_kids = {
+                assignment[r.rep_id].key_id
+                for r in title.representations
+                if r.kind is TrackKind.VIDEO
+            }
+            assert None not in video_kids
+            assert len(video_kids) == 3
+
+    def test_subtitles_always_clear(self, title):
+        for audio in AudioProtection:
+            assignment = assign_track_crypto(_policy(audio), title)
+            for rep in title.subtitles():
+                assert not assignment[rep.rep_id].protected
+
+    def test_clear_audio(self, title):
+        assignment = assign_track_crypto(_policy(AudioProtection.CLEAR), title)
+        for rep in title.audios():
+            assert not assignment[rep.rep_id].protected
+
+    def test_shared_key_audio_reuses_lowest_video_key(self, title):
+        assignment = assign_track_crypto(_policy(AudioProtection.SHARED_KEY), title)
+        v540 = assignment["v540"]
+        for rep in title.audios():
+            assert assignment[rep.rep_id].key_id == v540.key_id
+            assert assignment[rep.rep_id].key == v540.key
+
+    def test_distinct_key_audio(self, title):
+        assignment = assign_track_crypto(_policy(AudioProtection.DISTINCT_KEY), title)
+        video_kids = {assignment[r.rep_id].key_id for r in title.videos()}
+        for rep in title.audios():
+            kid = assignment[rep.rep_id].key_id
+            assert kid is not None
+            assert kid not in video_kids
+
+    def test_distinct_audio_keys_per_language(self, title):
+        assignment = assign_track_crypto(_policy(AudioProtection.DISTINCT_KEY), title)
+        kids = [assignment[r.rep_id].key_id for r in title.audios()]
+        assert len(set(kids)) == len(kids)
+
+    def test_assignment_deterministic(self, title):
+        policy = _policy(AudioProtection.SHARED_KEY)
+        assert assign_track_crypto(policy, title) == assign_track_crypto(policy, title)
+
+    def test_keys_subscriber_independent_by_default(self, title):
+        """§IV-D: 'OTT apps use the same keys for all their subscribers
+        for a given media'."""
+        policy = _policy(AudioProtection.SHARED_KEY)
+        alice = assign_track_crypto(policy, title, account="alice")
+        bob = assign_track_crypto(policy, title, account="bob")
+        assert alice == bob
+
+    def test_per_account_keys_option(self, title):
+        policy = _policy(AudioProtection.SHARED_KEY, per_account_keys=True)
+        alice = assign_track_crypto(policy, title, account="alice")
+        bob = assign_track_crypto(policy, title, account="bob")
+        assert alice["v540"].key != bob["v540"].key
+        # Key IDs stay stable (they are content metadata).
+        assert alice["v540"].key_id == bob["v540"].key_id
+
+    def test_service_separation(self, title):
+        a = assign_track_crypto(_policy(AudioProtection.SHARED_KEY), title)
+        other = ServicePolicy(
+            service="other",
+            audio_protection=AudioProtection.SHARED_KEY,
+            revocation=RevocationPolicy(),
+        )
+        b = assign_track_crypto(other, title)
+        assert a["v540"].key != b["v540"].key
+
+    def test_shared_key_requires_video(self):
+        bare = make_title(
+            "bare00", "Audio only", video_resolutions=(), subtitle_languages=()
+        )
+        with pytest.raises(ValueError, match="requires a video track"):
+            assign_track_crypto(_policy(AudioProtection.SHARED_KEY), bare)
+
+
+class TestKeyUsageClassification:
+    def test_minimum_for_clear(self):
+        assert _policy(AudioProtection.CLEAR).key_usage is KeyUsagePolicy.MINIMUM
+
+    def test_minimum_for_shared(self):
+        assert _policy(AudioProtection.SHARED_KEY).key_usage is KeyUsagePolicy.MINIMUM
+
+    def test_recommended_for_distinct(self):
+        assert (
+            _policy(AudioProtection.DISTINCT_KEY).key_usage
+            is KeyUsagePolicy.RECOMMENDED
+        )

@@ -1,0 +1,224 @@
+"""Protocol messages: serialization round trips and malformed input."""
+
+import json
+
+import pytest
+
+from repro.license_server.protocol import (
+    KeyControl,
+    LicenseRequest,
+    LicenseResponse,
+    ProtocolError,
+    ProvisionRequest,
+    ProvisionResponse,
+    WrappedKey,
+    canonical_bytes,
+)
+
+
+def _provision_request() -> ProvisionRequest:
+    return ProvisionRequest(
+        device_id=bytes(32),
+        nonce=bytes(16),
+        cdm_version="3.1.0",
+        security_level="L3",
+        mac=bytes(32),
+    )
+
+
+def _license_request() -> LicenseRequest:
+    return LicenseRequest(
+        session_id=b"\x00\x00\x00\x01",
+        device_id=bytes(32),
+        rsa_fingerprint=bytes(32),
+        pssh_data=b"pssh",
+        nonce=bytes(16),
+        cdm_version="15.0.0",
+        security_level="L1",
+        device_model="Pixel 6",
+        signature=bytes(256),
+    )
+
+
+def _license_response() -> LicenseResponse:
+    return LicenseResponse(
+        session_id=b"\x00\x00\x00\x01",
+        wrapped_session_key=bytes(256),
+        derivation_context=b"context",
+        keys=[
+            WrappedKey(
+                key_id=bytes(16),
+                iv=bytes(16),
+                wrapped_key=bytes(32),
+                control=KeyControl(max_height=540, require_security_level=None),
+            ),
+            WrappedKey(
+                key_id=bytes([1]) * 16,
+                iv=bytes(16),
+                wrapped_key=bytes(32),
+                control=KeyControl(max_height=1080, require_security_level="L1"),
+            ),
+        ],
+        mac=bytes(32),
+    )
+
+
+class TestRoundTrips:
+    def test_provision_request(self):
+        parsed = ProvisionRequest.parse(_provision_request().serialize())
+        assert parsed == _provision_request()
+
+    def test_provision_response(self):
+        original = ProvisionResponse(
+            device_id=bytes(32),
+            iv=bytes(16),
+            wrapped_rsa_key=bytes(64),
+            mac=bytes(32),
+        )
+        assert ProvisionResponse.parse(original.serialize()) == original
+
+    def test_license_request(self):
+        assert LicenseRequest.parse(_license_request().serialize()) == _license_request()
+
+    def test_license_response(self):
+        parsed = LicenseResponse.parse(_license_response().serialize())
+        assert parsed.session_id == b"\x00\x00\x00\x01"
+        assert len(parsed.keys) == 2
+        assert parsed.keys[1].control.require_security_level == "L1"
+        assert parsed.keys[0].control.max_height == 540
+
+    def test_signing_payload_excludes_mac(self):
+        request = _provision_request()
+        payload = json.loads(request.signing_payload())
+        assert "mac" not in payload
+        full = json.loads(request.serialize())
+        assert "mac" in full
+
+    def test_signing_payload_excludes_signature(self):
+        payload = json.loads(_license_request().signing_payload())
+        assert "signature" not in payload
+
+    def test_signing_payload_stable_under_mac_change(self):
+        request = _provision_request()
+        before = request.signing_payload()
+        request.mac = bytes([1]) * 32
+        assert request.signing_payload() == before
+
+
+class TestMalformed:
+    def test_not_json(self):
+        with pytest.raises(ProtocolError, match="not a protocol message"):
+            ProvisionRequest.parse(b"\xff\xfe binary")
+
+    def test_wrong_type(self):
+        blob = _provision_request().serialize()
+        with pytest.raises(ProtocolError, match="expected message type"):
+            LicenseRequest.parse(blob)
+
+    def test_json_array_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            ProvisionRequest.parse(b"[1,2,3]")
+
+    def test_missing_field(self):
+        payload = json.loads(_provision_request().serialize())
+        del payload["nonce"]
+        with pytest.raises(ProtocolError, match="missing field 'nonce'"):
+            ProvisionRequest.parse(json.dumps(payload).encode())
+
+    def test_bad_hex_field(self):
+        payload = json.loads(_provision_request().serialize())
+        payload["device_id"] = "zz"
+        with pytest.raises(ProtocolError, match="not valid hex"):
+            ProvisionRequest.parse(json.dumps(payload).encode())
+
+    def test_canonical_bytes_sorted(self):
+        a = canonical_bytes({"b": 1, "a": 2})
+        b = canonical_bytes({"a": 2, "b": 1})
+        assert a == b
+
+
+class TestKeyControl:
+    def test_round_trip(self):
+        control = KeyControl(
+            max_height=720, require_security_level="L1", license_duration_s=3600
+        )
+        assert KeyControl.from_json(control.to_json()) == control
+
+    def test_defaults(self):
+        control = KeyControl.from_json({})
+        assert control.max_height is None
+        assert control.require_security_level is None
+        assert control.license_duration_s is None
+
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+_bytes16 = st.binary(min_size=16, max_size=16)
+_bytes32 = st.binary(min_size=32, max_size=32)
+
+
+class TestPropertyRoundTrips:
+    @given(
+        device_id=_bytes32,
+        nonce=_bytes16,
+        mac=_bytes32,
+        version=st.from_regex(r"[0-9]{1,2}\.[0-9]\.[0-9]", fullmatch=True),
+    )
+    def test_provision_request_any_fields(self, device_id, nonce, mac, version):
+        original = ProvisionRequest(
+            device_id=device_id,
+            nonce=nonce,
+            cdm_version=version,
+            security_level="L3",
+            mac=mac,
+        )
+        assert ProvisionRequest.parse(original.serialize()) == original
+
+    @given(
+        session_id=st.binary(min_size=4, max_size=4),
+        pssh=st.binary(max_size=64),
+        signature=st.binary(max_size=256),
+        model=st.text(
+            alphabet=st.characters(
+                whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=127
+            ),
+            max_size=20,
+        ),
+    )
+    def test_license_request_any_fields(self, session_id, pssh, signature, model):
+        original = LicenseRequest(
+            session_id=session_id,
+            device_id=bytes(32),
+            rsa_fingerprint=bytes(32),
+            pssh_data=pssh,
+            nonce=bytes(16),
+            cdm_version="15.0.0",
+            security_level="L1",
+            device_model=model,
+            signature=signature,
+        )
+        assert LicenseRequest.parse(original.serialize()) == original
+
+    @given(
+        kids=st.lists(_bytes16, min_size=0, max_size=4),
+        duration=st.one_of(st.none(), st.integers(min_value=0, max_value=10**6)),
+    )
+    def test_license_response_any_keys(self, kids, duration):
+        original = LicenseResponse(
+            session_id=bytes(4),
+            wrapped_session_key=bytes(128),
+            derivation_context=b"ctx",
+            keys=[
+                WrappedKey(
+                    key_id=kid,
+                    iv=bytes(16),
+                    wrapped_key=bytes(32),
+                    control=KeyControl(license_duration_s=duration),
+                )
+                for kid in kids
+            ],
+            mac=bytes(32),
+        )
+        parsed = LicenseResponse.parse(original.serialize())
+        assert parsed == original

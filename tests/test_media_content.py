@@ -1,0 +1,119 @@
+"""Content model: titles, representations, adaptation ladders."""
+
+import pytest
+
+from repro.media.codecs import validate_sample
+from repro.media.content import (
+    HD_1080,
+    QHD,
+    Representation,
+    Resolution,
+    Title,
+    TrackKind,
+    make_title,
+)
+
+
+class TestResolution:
+    def test_ordering(self):
+        assert QHD < HD_1080
+
+    def test_str(self):
+        assert str(QHD) == "960x540"
+
+    def test_hd_flag(self):
+        assert HD_1080.is_hd
+        assert not QHD.is_hd
+
+
+class TestRepresentation:
+    def test_video_requires_resolution(self):
+        with pytest.raises(ValueError, match="resolution"):
+            Representation(
+                rep_id="v", kind=TrackKind.VIDEO, codec="c", bitrate_kbps=1
+            )
+
+    def test_audio_requires_language(self):
+        with pytest.raises(ValueError, match="language"):
+            Representation(
+                rep_id="a", kind=TrackKind.AUDIO, codec="c", bitrate_kbps=1
+            )
+
+    def test_label(self):
+        rep = Representation(
+            rep_id="v540",
+            kind=TrackKind.VIDEO,
+            codec="c",
+            bitrate_kbps=1,
+            resolution=QHD,
+        )
+        assert rep.label("tt01") == "tt01/v540"
+
+
+class TestTitle:
+    @pytest.fixture
+    def title(self) -> Title:
+        return make_title("tt01", "Feature")
+
+    def test_default_ladder(self, title):
+        assert [r.resolution.height for r in title.videos()] == [540, 720, 1080]
+        assert {r.language for r in title.audios()} == {"en", "fr"}
+        assert {r.language for r in title.subtitles()} == {"en", "fr"}
+
+    def test_segment_count(self, title):
+        assert title.segment_count == 6  # 24s / 4s
+
+    def test_segment_count_rounds_up(self):
+        title = make_title("tt02", "F", duration_s=25, segment_duration_s=4)
+        assert title.segment_count == 7
+
+    def test_audio_language_filter(self, title):
+        assert len(title.audios("fr")) == 1
+        assert title.audios("de") == []
+
+    def test_languages(self, title):
+        assert title.languages() == ["en", "fr"]
+
+    def test_representation_lookup(self, title):
+        assert title.representation("v540").resolution == QHD
+        with pytest.raises(KeyError):
+            title.representation("nope")
+
+    def test_samples_deterministic(self, title):
+        rep = title.videos()[0]
+        assert title.samples_for_segment(rep, 0) == title.samples_for_segment(rep, 0)
+
+    def test_samples_valid(self, title):
+        rep = title.videos()[0]
+        for sample in title.samples_for_segment(rep, 1):
+            result = validate_sample(sample)
+            assert result.valid
+            assert result.label == "tt01/v540"
+
+    def test_samples_differ_across_segments(self, title):
+        rep = title.videos()[0]
+        assert title.samples_for_segment(rep, 0) != title.samples_for_segment(rep, 1)
+
+    def test_segment_index_bounds(self, title):
+        rep = title.videos()[0]
+        with pytest.raises(IndexError):
+            title.samples_for_segment(rep, title.segment_count)
+        with pytest.raises(IndexError):
+            title.samples_for_segment(rep, -1)
+
+    def test_higher_bitrate_bigger_samples(self, title):
+        v540 = title.samples_for_segment(title.representation("v540"), 0)[0]
+        v1080 = title.samples_for_segment(title.representation("v1080"), 0)[0]
+        assert len(v1080) > len(v540)
+
+    def test_custom_ladder(self):
+        title = make_title(
+            "tt03",
+            "Custom",
+            video_resolutions=(QHD,),
+            audio_languages=("de",),
+            subtitle_languages=(),
+        )
+        assert len(title.videos()) == 1
+        assert title.subtitles() == []
+        assert title.languages() == ["de"]

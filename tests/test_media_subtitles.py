@@ -1,0 +1,73 @@
+"""WebVTT subtitles and the paper's ASCII clear-text heuristic."""
+
+import pytest
+
+from repro.media.subtitles import (
+    build_webvtt,
+    looks_like_clear_text,
+    parse_webvtt,
+)
+
+
+class TestBuild:
+    def test_header(self):
+        assert build_webvtt("tt01", "en", 12).startswith(b"WEBVTT")
+
+    def test_deterministic(self):
+        assert build_webvtt("tt01", "en", 12) == build_webvtt("tt01", "en", 12)
+
+    def test_language_separation(self):
+        assert build_webvtt("tt01", "en", 12) != build_webvtt("tt01", "fr", 12)
+
+    def test_cue_count_scales_with_duration(self):
+        short = parse_webvtt(build_webvtt("t", "en", 6))
+        long = parse_webvtt(build_webvtt("t", "en", 30))
+        assert len(long) > len(short)
+
+
+class TestParse:
+    def test_round_trip_cues(self):
+        cues = parse_webvtt(build_webvtt("tt01", "en", 12))
+        assert len(cues) == 4
+        assert cues[0].start_s == 0.0
+        assert cues[0].end_s == 3.0
+        assert "tt01 cue 0" in cues[0].text
+
+    def test_cues_ordered_and_contiguous(self):
+        cues = parse_webvtt(build_webvtt("tt01", "en", 24))
+        for earlier, later in zip(cues, cues[1:]):
+            assert earlier.end_s == later.start_s
+
+    def test_rejects_missing_header(self):
+        with pytest.raises(ValueError, match="not a WebVTT"):
+            parse_webvtt(b"1\n00:00:00.000 --> 00:00:03.000\nhi\n")
+
+    def test_rejects_binary(self):
+        with pytest.raises((ValueError, UnicodeDecodeError)):
+            parse_webvtt(bytes(range(256)))
+
+    def test_rejects_bad_timestamp(self):
+        doc = b"WEBVTT\n\n1\n00:00 --> 00:03\nhi\n"
+        with pytest.raises(ValueError, match="bad timestamp"):
+            parse_webvtt(doc)
+
+    def test_empty_document(self):
+        assert parse_webvtt(b"WEBVTT\n") == []
+
+
+class TestClearTextHeuristic:
+    def test_accepts_webvtt(self):
+        assert looks_like_clear_text(build_webvtt("tt01", "en", 12))
+
+    def test_rejects_uniform_bytes(self):
+        assert not looks_like_clear_text(bytes(range(256)) * 4)
+
+    def test_rejects_empty(self):
+        assert not looks_like_clear_text(b"")
+
+    def test_accepts_plain_ascii(self):
+        assert looks_like_clear_text(b"Hello, subtitles!\n" * 20)
+
+    def test_rejects_mostly_binary_with_ascii_prefix(self):
+        blob = b"WEBVTT" + bytes(range(1, 200)) * 3
+        assert not looks_like_clear_text(blob)

@@ -1,0 +1,242 @@
+"""Network substrate: HTTP model, TLS pinning matrix, proxy, CDN."""
+
+import pytest
+
+from repro.net.cdn import CdnServer
+from repro.net.http import HttpRequest, HttpResponse, parse_url
+from repro.net.network import HttpClient, Network
+from repro.net.proxy import InterceptingProxy
+from repro.net.server import VirtualServer
+from repro.net.tls import (
+    Certificate,
+    PinSet,
+    TlsError,
+    TrustStore,
+    issue_certificate,
+)
+
+
+class TestHttp:
+    def test_parse_url(self):
+        url = parse_url("https://host.example/path/to?x=1&y=2")
+        assert url.host == "host.example"
+        assert url.path == "/path/to"
+        assert url.query == {"x": "1", "y": "2"}
+
+    def test_parse_url_defaults(self):
+        url = parse_url("https://host.example")
+        assert url.path == "/"
+        assert url.query == {}
+
+    def test_parse_url_rejects_relative(self):
+        with pytest.raises(ValueError, match="no host"):
+            parse_url("/just/a/path")
+
+    def test_url_str_round_trip(self):
+        url = parse_url("https://h.example/p?a=1")
+        assert str(url) == "https://h.example/p?a=1"
+
+    def test_response_helpers(self):
+        assert HttpResponse(status=204).ok
+        assert not HttpResponse.not_found().ok
+        assert HttpResponse.forbidden().status == 403
+        assert HttpResponse.bad_request().status == 400
+
+
+class TestTls:
+    def test_issue_deterministic(self):
+        a = issue_certificate("h.example", "CA", seed=b"s")
+        b = issue_certificate("h.example", "CA", seed=b"s")
+        assert a.spki_fingerprint() == b.spki_fingerprint()
+
+    def test_trust_store_accepts_known_issuer(self):
+        cert = issue_certificate("h.example", "GlobalRootCA", seed=b"s")
+        TrustStore().verify(cert, "h.example")
+
+    def test_trust_store_rejects_unknown_issuer(self):
+        cert = issue_certificate("h.example", "EvilCA", seed=b"s")
+        with pytest.raises(TlsError, match="untrusted issuer"):
+            TrustStore().verify(cert, "h.example")
+
+    def test_trust_store_rejects_hostname_mismatch(self):
+        cert = issue_certificate("other.example", "GlobalRootCA", seed=b"s")
+        with pytest.raises(TlsError, match="hostname"):
+            TrustStore().verify(cert, "h.example")
+
+    def test_added_issuer_trusted(self):
+        store = TrustStore()
+        store.add_issuer("ProxyCA")
+        cert = issue_certificate("h.example", "ProxyCA", seed=b"s")
+        store.verify(cert, "h.example")
+
+    def test_pin_match(self):
+        cert = issue_certificate("h.example", "CA", seed=b"s")
+        pins = PinSet()
+        pins.pin("h.example", cert)
+        pins.verify("h.example", cert)
+
+    def test_pin_mismatch(self):
+        real = issue_certificate("h.example", "CA", seed=b"real")
+        fake = issue_certificate("h.example", "CA", seed=b"fake")
+        pins = PinSet()
+        pins.pin("h.example", real)
+        with pytest.raises(TlsError, match="pin mismatch"):
+            pins.verify("h.example", fake)
+
+    def test_unpinned_host_accepted(self):
+        cert = issue_certificate("other.example", "CA", seed=b"s")
+        pins = PinSet()
+        pins.pin("h.example", cert)
+        pins.verify("other.example", cert)
+
+    def test_disabled_pins_accept_anything(self):
+        real = issue_certificate("h.example", "CA", seed=b"real")
+        fake = issue_certificate("h.example", "CA", seed=b"fake")
+        pins = PinSet()
+        pins.pin("h.example", real)
+        pins.enabled = False
+        pins.verify("h.example", fake)
+
+
+class TestServerRouting:
+    def test_longest_prefix_wins(self):
+        server = VirtualServer("s.example")
+        server.route("/a/", lambda r: HttpResponse(status=200, body=b"short"))
+        server.route("/a/b/", lambda r: HttpResponse(status=200, body=b"long"))
+        response = server.handle(HttpRequest("GET", "https://s.example/a/b/c"))
+        assert response.body == b"long"
+
+    def test_no_route_404(self):
+        server = VirtualServer("s.example")
+        assert server.handle(HttpRequest("GET", "https://s.example/x")).status == 404
+
+    def test_route_must_be_absolute(self):
+        with pytest.raises(ValueError, match="start with"):
+            VirtualServer("s.example").route("relative", lambda r: None)
+
+    def test_request_log(self):
+        server = VirtualServer("s.example")
+        server.handle(HttpRequest("GET", "https://s.example/x"))
+        assert len(server.request_log) == 1
+
+
+class TestNetwork:
+    def test_register_and_deliver(self):
+        net = Network()
+        server = VirtualServer("s.example")
+        server.route("/", lambda r: HttpResponse(status=200, body=b"hi"))
+        net.register(server)
+        response = net.deliver(HttpRequest("GET", "https://s.example/"))
+        assert response.body == b"hi"
+
+    def test_duplicate_host_rejected(self):
+        net = Network()
+        net.register(VirtualServer("s.example"))
+        with pytest.raises(ValueError, match="already registered"):
+            net.register(VirtualServer("s.example"))
+
+    def test_unknown_host(self):
+        with pytest.raises(LookupError, match="unknown host"):
+            Network().deliver(HttpRequest("GET", "https://nope.example/"))
+
+    def test_client_happy_path(self):
+        net = Network()
+        server = VirtualServer("s.example")
+        server.route("/", lambda r: HttpResponse(status=200, body=b"ok"))
+        net.register(server)
+        assert HttpClient(net).get("https://s.example/").body == b"ok"
+
+    def test_client_post(self):
+        net = Network()
+        server = VirtualServer("s.example")
+        server.route("/", lambda r: HttpResponse(status=200, body=r.body))
+        net.register(server)
+        assert HttpClient(net).post("https://s.example/", b"echo").body == b"echo"
+
+
+class TestProxyInterception:
+    def _world(self):
+        net = Network()
+        server = VirtualServer("s.example")
+        server.route("/", lambda r: HttpResponse(status=200, body=b"payload"))
+        net.register(server)
+        client = HttpClient(net)
+        client.pin_set.pin("s.example", server.certificate)
+        proxy = InterceptingProxy(net)
+        return net, server, client, proxy
+
+    def test_proxy_blocked_without_trusted_ca(self):
+        __, __, client, proxy = self._world()
+        client.set_proxy(proxy)
+        with pytest.raises(TlsError, match="untrusted issuer"):
+            client.get("https://s.example/")
+        assert proxy.flows == []
+
+    def test_proxy_blocked_by_pinning(self):
+        __, __, client, proxy = self._world()
+        client.set_proxy(proxy)
+        client.trust_store.add_issuer(InterceptingProxy.CA_NAME)
+        with pytest.raises(TlsError, match="pin mismatch"):
+            client.get("https://s.example/")
+
+    def test_proxy_works_after_repinning(self):
+        from repro.instrumentation.hooks import disable_ssl_pinning
+
+        __, __, client, proxy = self._world()
+        client.set_proxy(proxy)
+        client.trust_store.add_issuer(InterceptingProxy.CA_NAME)
+        disable_ssl_pinning(client)
+        response = client.get("https://s.example/")
+        assert response.body == b"payload"
+        assert len(proxy.flows) == 1
+        assert proxy.flows[0].host == "s.example"
+
+    def test_flows_for_filter(self):
+        __, __, client, proxy = self._world()
+        client.set_proxy(proxy)
+        client.trust_store.add_issuer(InterceptingProxy.CA_NAME)
+        client.pin_set.enabled = False
+        client.get("https://s.example/")
+        assert len(proxy.flows_for("s.exa")) == 1
+        assert proxy.flows_for("other") == []
+
+    def test_proxy_clear(self):
+        __, __, client, proxy = self._world()
+        client.set_proxy(proxy)
+        client.trust_store.add_issuer(InterceptingProxy.CA_NAME)
+        client.pin_set.enabled = False
+        client.get("https://s.example/")
+        proxy.clear()
+        assert proxy.flows == []
+
+
+class TestCdn:
+    def test_put_and_fetch(self):
+        net = Network()
+        cdn = CdnServer("cdn.example")
+        net.register(cdn)
+        url = cdn.put("/a/b.bin", b"blob")
+        assert HttpClient(net).get(url).body == b"blob"
+
+    def test_missing_asset_404(self):
+        net = Network()
+        cdn = CdnServer("cdn.example")
+        net.register(cdn)
+        assert HttpClient(net).get("https://cdn.example/nope").status == 404
+
+    def test_path_must_be_absolute(self):
+        with pytest.raises(ValueError, match="start with"):
+            CdnServer("cdn.example").put("relative", b"x")
+
+    def test_token_enforcement(self):
+        net = Network()
+        cdn = CdnServer("cdn.example", require_token=True)
+        net.register(cdn)
+        cdn.put("/x.bin", b"data")
+        client = HttpClient(net)
+        assert client.get("https://cdn.example/x.bin").status == 403
+        assert client.get(cdn.url_for("/x.bin")).body == b"data"
+
+    def test_url_for_unknown_asset(self):
+        with pytest.raises(KeyError):
+            CdnServer("cdn.example").url_for("/missing")

@@ -1,0 +1,96 @@
+"""Offline-license harvesting: one keybox break unlocks everything a
+user ever downloaded — no live playback required."""
+
+import pytest
+
+from repro.android.device import nexus_5
+from repro.android.mediadrm import KEY_TYPE_OFFLINE, MediaDrm
+from repro.bmff.builder import read_pssh_boxes
+from repro.bmff.pssh import WIDEVINE_SYSTEM_ID
+from repro.core.keyladder_attack import KeyLadderAttack
+from repro.license_server.policy import AudioProtection
+from repro.license_server.provisioning import KeyboxAuthority
+from repro.net.network import Network
+from repro.ott.backend import OttBackend
+from repro.ott.profile import OttProfile
+
+
+@pytest.fixture
+def downloaded_world():
+    """A user who downloaded a title for offline viewing, then left."""
+    profile = OttProfile(
+        name="DlFlix",
+        service="dlflix",
+        package="com.dlflix.app",
+        installs_millions=1,
+        audio_protection=AudioProtection.SHARED_KEY,
+        enforces_revocation=False,
+        title_count=2,
+    )
+    network = Network()
+    authority = KeyboxAuthority()
+    backend = OttBackend(profile, network, authority)
+    device = nexus_5(network, authority)
+    device.rooted = True
+
+    drm = MediaDrm(WIDEVINE_SYSTEM_ID, device, origin=profile.package)
+    client = device.new_http_client()
+    request = drm.get_provision_request()
+    response = client.post(
+        f"https://{profile.provisioning_host}/provision", request.data
+    )
+    drm.provide_provision_response(response.body)
+
+    downloaded_kids = set()
+    for title in backend.catalog:
+        packaged = backend.packaged[title.title_id]
+        init_url, _ = packaged.asset_urls["v540"]
+        (pssh,) = read_pssh_boxes(client.get(init_url).body)
+        session = drm.open_session()
+        key_request = drm.get_key_request(
+            session, pssh.data, key_type=KEY_TYPE_OFFLINE
+        )
+        license_response = client.post(
+            f"https://{profile.license_host}/license", key_request.data
+        )
+        loaded = drm.provide_key_response(session, license_response.body)
+        downloaded_kids.update(loaded)
+        drm.close_session(session)
+    return profile, backend, device, downloaded_kids
+
+
+class TestOfflineHarvest:
+    def test_all_downloaded_titles_fall_at_once(self, downloaded_world):
+        profile, backend, device, downloaded_kids = downloaded_world
+        attack = KeyLadderAttack(device)
+        keybox = attack.recover_keybox()
+        rsa = attack.recover_device_rsa_key(keybox, profile.package)
+        assert rsa is not None
+
+        harvested = attack.harvest_offline_licenses(rsa, profile.package)
+        assert set(harvested) == downloaded_kids
+        assert len(harvested) >= 2  # one sub-HD video key per title
+
+        # Keys match the services' ground truth.
+        truth = {}
+        for packaged in backend.packaged.values():
+            truth.update(packaged.content_keys)
+        for kid, key in harvested.items():
+            assert truth[kid] == key
+
+    def test_harvest_without_any_playback_session(self, downloaded_world):
+        """No hooks, no monitoring, no live license: persistent storage
+        plus the keybox suffice."""
+        profile, __, device, __ = downloaded_world
+        attack = KeyLadderAttack(device)
+        keybox = attack.recover_keybox()
+        rsa = attack.recover_device_rsa_key(keybox, profile.package)
+        harvested = attack.harvest_offline_licenses(rsa, profile.package)
+        assert harvested
+
+    def test_other_origin_yields_nothing(self, downloaded_world):
+        profile, __, device, __ = downloaded_world
+        attack = KeyLadderAttack(device)
+        keybox = attack.recover_keybox()
+        rsa = attack.recover_device_rsa_key(keybox, profile.package)
+        assert attack.harvest_offline_licenses(rsa, "com.other.app") == {}

@@ -1,0 +1,61 @@
+"""Study over profile subsets and custom profiles."""
+
+import pytest
+
+from repro.core.study import WideLeakStudy
+from repro.ott.registry import profile_by_name
+
+
+class TestSubsets:
+    def test_single_app_study(self):
+        study = WideLeakStudy(profiles=(profile_by_name("Salto"),))
+        result = study.run()
+        assert len(result.table.rows) == 1
+        assert result.table.row_for("Salto").audio == "Clear"
+        # Diff reports the nine un-evaluated apps as missing.
+        diffs = result.table.diff_against_paper()
+        assert len(diffs) == 9
+        assert all("row missing" in d for d in diffs)
+
+    def test_pair_study_and_attacks(self):
+        study = WideLeakStudy(
+            profiles=(profile_by_name("Showtime"), profile_by_name("Disney+"))
+        )
+        result = study.run()
+        assert len(result.table.rows) == 2
+        attacks = study.run_all_attacks()
+        assert attacks["Showtime"].recovered.succeeded
+        assert attacks["Disney+"].recovered is None
+
+    def test_summary_on_subset(self):
+        study = WideLeakStudy(
+            profiles=(profile_by_name("Netflix"), profile_by_name("Hulu"))
+        )
+        summary = study.run().summary()
+        assert summary["apps_evaluated"] == 2
+        assert summary["apps_with_clear_audio"] == ["Netflix"]
+
+    def test_custom_profile_outside_the_paper(self):
+        """A hypothetical well-behaved service: recommended keys,
+        revocation enforced — the row the paper wishes it had found."""
+        from repro.license_server.policy import AudioProtection
+        from repro.ott.profile import OttProfile
+
+        paragon = OttProfile(
+            name="Paragon",
+            service="paragon",
+            package="com.paragon.app",
+            installs_millions=1,
+            audio_protection=AudioProtection.DISTINCT_KEY,
+            enforces_revocation=True,
+        )
+        study = WideLeakStudy(profiles=(paragon,))
+        result = study.run()
+        row = result.table.row_for("Paragon")
+        assert row.video == "Encrypted"
+        assert row.audio == "Encrypted"
+        assert row.key_usage == "Recommended"
+        assert row.legacy_playback == "◐"
+        # And the attack gets nothing from it.
+        attack = study.run_attack(paragon)
+        assert not attack.attack.succeeded

@@ -1,0 +1,38 @@
+"""Study summary counts and the JSON artifact."""
+
+import json
+
+
+class TestSummary:
+    def test_headline_counts(self, study_result):
+        summary = study_result.summary()
+        assert summary["apps_evaluated"] == 10
+        assert summary["apps_using_widevine"] == 10
+        assert summary["apps_with_clear_audio"] == ["Netflix", "Salto", "myCanal"]
+        assert summary["apps_with_encrypted_video"] == 10
+        # Hulu and Starz subtitle status unknown → 8 confirmed clear.
+        assert summary["apps_with_clear_subtitles"] == 8
+        assert summary["apps_following_recommended_keys"] == [
+            "Amazon Prime Video"
+        ]
+        assert summary["apps_revoking_legacy_devices"] == [
+            "Disney+",
+            "HBO Max",
+            "Starz",
+        ]
+        assert summary["apps_serving_legacy_devices"] == 7
+
+
+class TestJsonArtifact:
+    def test_round_trips_through_json(self, study_result):
+        payload = json.loads(study_result.to_json())
+        assert payload["matches_paper"] is True
+        assert len(payload["table1"]) == 10
+        netflix = next(r for r in payload["table1"] if r["app"] == "Netflix")
+        assert netflix["audio"] == "Clear"
+        assert payload["apps"]["Netflix"]["secure_channel"] is True
+        assert payload["apps"]["Amazon Prime Video"]["legacy_outcome"] == (
+            "plays-custom-drm"
+        )
+        assert payload["apps"]["Disney+"]["legacy_video_height"] is None
+        assert payload["apps"]["Showtime"]["legacy_video_height"] == 540

@@ -1,0 +1,145 @@
+"""Keybox structure, versions, and secret storage (L1 vs L3)."""
+
+import pytest
+
+from repro.android.process import Process
+from repro.widevine.keybox import (
+    KEYBOX_MAGIC,
+    KEYBOX_SIZE,
+    Keybox,
+    issue_keybox,
+)
+from repro.widevine.storage import (
+    WHITEBOX_TABLE_MAGIC,
+    InProcessSecretStore,
+    TeeSecretStore,
+    apply_whitebox_mask,
+)
+from repro.widevine.versions import CDM_CURRENT, CDM_NEXUS5, CdmVersion
+
+
+class TestKeybox:
+    def test_serialized_size(self):
+        assert len(issue_keybox("S1").serialize()) == KEYBOX_SIZE
+
+    def test_magic_position(self):
+        blob = issue_keybox("S1").serialize()
+        assert blob[120:124] == KEYBOX_MAGIC
+
+    def test_round_trip(self):
+        keybox = issue_keybox("S1")
+        assert Keybox.parse(keybox.serialize()) == keybox
+
+    def test_issue_deterministic(self):
+        assert issue_keybox("S1") == issue_keybox("S1")
+
+    def test_issue_serial_separation(self):
+        assert issue_keybox("S1").device_key != issue_keybox("S2").device_key
+
+    def test_issue_root_seed_separation(self):
+        a = issue_keybox("S1", root_seed=b"factory-a")
+        b = issue_keybox("S1", root_seed=b"factory-b")
+        assert a.device_key != b.device_key
+
+    def test_parse_rejects_wrong_size(self):
+        with pytest.raises(ValueError, match="128 bytes"):
+            Keybox.parse(bytes(64))
+
+    def test_parse_rejects_bad_magic(self):
+        blob = bytearray(issue_keybox("S1").serialize())
+        blob[120] ^= 0xFF
+        with pytest.raises(ValueError, match="magic"):
+            Keybox.parse(bytes(blob))
+
+    def test_parse_rejects_bad_crc(self):
+        blob = bytearray(issue_keybox("S1").serialize())
+        blob[0] ^= 0xFF
+        with pytest.raises(ValueError, match="CRC"):
+            Keybox.parse(bytes(blob))
+
+    def test_is_plausible(self):
+        assert Keybox.is_plausible(issue_keybox("S1").serialize())
+        assert not Keybox.is_plausible(bytes(KEYBOX_SIZE))
+
+    def test_field_length_validation(self):
+        with pytest.raises(ValueError):
+            Keybox(device_id=bytes(8), device_key=bytes(16), key_data=bytes(72))
+        with pytest.raises(ValueError):
+            Keybox(device_id=bytes(32), device_key=bytes(8), key_data=bytes(72))
+        with pytest.raises(ValueError):
+            Keybox(device_id=bytes(32), device_key=bytes(16), key_data=bytes(8))
+
+
+class TestCdmVersion:
+    def test_parse(self):
+        assert CdmVersion.parse("3.1.0") == CdmVersion(3, 1, 0)
+        assert CdmVersion.parse("15.0") == CdmVersion(15, 0, 0)
+        assert CdmVersion.parse("15") == CdmVersion(15)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            CdmVersion.parse("abc")
+        with pytest.raises(ValueError):
+            CdmVersion.parse("1.2.3.4")
+
+    def test_ordering(self):
+        assert CDM_NEXUS5 < CDM_CURRENT
+        assert CdmVersion(14) <= CdmVersion(14, 0, 0)
+        assert CdmVersion(3, 1) > CdmVersion(3, 0, 9)
+
+    def test_str_round_trip(self):
+        assert str(CdmVersion.parse("3.1.0")) == "3.1.0"
+
+
+class TestWhiteboxMask:
+    def test_involution(self):
+        key = bytes(range(16))
+        mask = bytes(reversed(range(16)))
+        assert apply_whitebox_mask(apply_whitebox_mask(key, mask), mask) == key
+
+    def test_bad_mask_length(self):
+        with pytest.raises(ValueError, match="16 bytes"):
+            apply_whitebox_mask(bytes(16), bytes(8))
+
+
+class TestSecretStores:
+    def test_l3_store_maps_keybox_into_process(self):
+        process = Process("mediadrmserver")
+        store = InProcessSecretStore(process)
+        keybox = issue_keybox("L3-T1")
+        store.install_keybox(keybox)
+        blob = b"".join(bytes(r.data) for r in process.readable_regions())
+        assert KEYBOX_MAGIC in blob
+        assert WHITEBOX_TABLE_MAGIC in blob
+        # The raw device key must NOT appear — only the masked form.
+        assert keybox.device_key not in blob
+        assert store.security_level == "L3"
+        assert store.device_key() == keybox.device_key
+
+    def test_l1_store_maps_nothing(self):
+        process = Process("mediadrmserver")
+        store = TeeSecretStore()
+        keybox = issue_keybox("L1-T1")
+        store.install_keybox(keybox)
+        blob = b"".join(bytes(r.data) for r in process.readable_regions())
+        assert KEYBOX_MAGIC not in blob
+        assert store.security_level == "L1"
+        assert store.keybox() == keybox
+
+    def test_uninstalled_store_raises(self):
+        with pytest.raises(RuntimeError, match="no keybox"):
+            TeeSecretStore().keybox()
+        with pytest.raises(RuntimeError, match="no keybox"):
+            InProcessSecretStore(Process("p")).keybox()
+
+    def test_masked_keybox_is_structurally_valid(self):
+        """The in-memory masked keybox must still parse (magic + CRC)
+        — that is precisely what the scanner keys on."""
+        process = Process("mediadrmserver")
+        store = InProcessSecretStore(process)
+        store.install_keybox(issue_keybox("L3-T2"))
+        region = next(r for r in process.regions if ".data" in r.name)
+        blob = bytes(region.data)
+        index = blob.find(KEYBOX_MAGIC)
+        candidate = blob[index - 120 : index + 8]
+        assert Keybox.is_plausible(candidate)
