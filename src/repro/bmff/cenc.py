@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bmff.boxes import SencEntry, SubsampleRange
-from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.crypto.aes import BLOCK_SIZE, cipher_for
+from repro.crypto.modes import ctr_keystream, xor_bytes
 from repro.crypto.rng import HmacDrbg
 
 __all__ = [
@@ -45,26 +46,15 @@ class CencSample:
 def _ctr_keystream(key: bytes, iv: bytes, length: int) -> bytes:
     """CENC counter mode keystream: 8-byte IV in the top half of the
     counter block, 64-bit big-endian block counter in the bottom half
-    (16-byte IVs are used directly as the initial counter)."""
-    cipher = AES(key)
-    if len(iv) == 8:
-        prefix = iv
-        counter0 = 0
-        blocks = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
-        stream = bytearray()
-        for i in range(blocks):
-            block = prefix + ((counter0 + i) & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "big")
-            stream.extend(cipher.encrypt_block(block))
-        return bytes(stream[:length])
-    if len(iv) == 16:
-        start = int.from_bytes(iv, "big")
-        blocks = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
-        stream = bytearray()
-        for i in range(blocks):
-            block = ((start + i) % (1 << 128)).to_bytes(16, "big")
-            stream.extend(cipher.encrypt_block(block))
-        return bytes(stream[:length])
-    raise ValueError("CENC IV must be 8 or 16 bytes")
+    (16-byte IVs are used directly as the initial counter).
+
+    Delegates to the process-wide cached keystream in
+    :func:`repro.crypto.modes.ctr_keystream`: packaging and audit
+    decryption derive identical runs, so the second side is a cache hit.
+    """
+    if len(iv) not in (8, 16):
+        raise ValueError("CENC IV must be 8 or 16 bytes")
+    return ctr_keystream(key, iv, length)
 
 
 def _protected_length(sample_len: int, subsamples: list[SubsampleRange]) -> int:
@@ -85,7 +75,7 @@ def _transform(
     protected_len = _protected_length(len(data), entry.subsamples)
     keystream = _ctr_keystream(key, entry.iv, protected_len)
     if not entry.subsamples:
-        return bytes(b ^ k for b, k in zip(data, keystream))
+        return xor_bytes(data, keystream)
     out = bytearray()
     consumed = 0
     offset = 0
@@ -94,7 +84,7 @@ def _transform(
         offset += sub.clear_bytes
         chunk = data[offset : offset + sub.protected_bytes]
         ks = keystream[consumed : consumed + sub.protected_bytes]
-        out.extend(b ^ k for b, k in zip(chunk, ks))
+        out.extend(xor_bytes(chunk, ks))
         offset += sub.protected_bytes
         consumed += sub.protected_bytes
     return bytes(out)
@@ -158,7 +148,7 @@ def _cbcs_transform_range(
         raise ValueError(f"bad cbcs pattern {pattern}")
     if len(iv) != BLOCK_SIZE:
         raise ValueError("cbcs IV must be 16 bytes")
-    cipher = AES(key)
+    cipher = cipher_for(key)
     out = bytearray()
     previous = iv
     offset = 0
@@ -168,13 +158,10 @@ def _cbcs_transform_range(
                 break
             chunk = data[offset : offset + BLOCK_SIZE]
             if encrypt:
-                block = cipher.encrypt_block(
-                    bytes(a ^ b for a, b in zip(chunk, previous))
-                )
+                block = cipher.encrypt_block(xor_bytes(chunk, previous))
                 previous = block
             else:
-                decrypted = cipher.decrypt_block(chunk)
-                block = bytes(a ^ b for a, b in zip(decrypted, previous))
+                block = xor_bytes(cipher.decrypt_block(chunk), previous)
                 previous = chunk
             out.extend(block)
             offset += BLOCK_SIZE

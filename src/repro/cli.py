@@ -22,6 +22,13 @@ from repro.ott.registry import ALL_PROFILES, profile_by_name
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="wideleak",
@@ -29,10 +36,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="regenerate Table I and diff vs the paper")
+    jobs_help = (
+        "worker threads for the per-app fan-out (default 1: the fully "
+        "sequential, reproducible reference path; any value produces "
+        "byte-identical results)"
+    )
+    table1 = sub.add_parser("table1", help="regenerate Table I and diff vs the paper")
+    table1.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N", help=jobs_help
+    )
     sub.add_parser("figure1", help="capture the Figure 1 message sequence")
     sub.add_parser("list-apps", help="list the evaluated OTT services")
-    sub.add_parser("attack-all", help="run the §IV-D sweep over all apps")
+    attack_all = sub.add_parser(
+        "attack-all", help="run the §IV-D sweep over all apps"
+    )
+    attack_all.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N", help=jobs_help
+    )
 
     audit = sub.add_parser("audit", help="run Q1–Q4 for one app")
     audit.add_argument("app", help='display name, e.g. "Netflix" or "Hulu"')
@@ -43,9 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_table1() -> int:
-    study = WideLeakStudy.with_default_apps()
-    result = study.run()
+def _cmd_table1(jobs: int = 1) -> int:
+    from repro.core.parallel import ParallelStudyRunner
+
+    result = ParallelStudyRunner(WideLeakStudy.with_default_apps(), jobs=jobs).run()
     print(result.table.render())
     diffs = result.table.diff_against_paper()
     if diffs:
@@ -139,10 +160,12 @@ def _cmd_attack(app_name: str) -> int:
     return 1
 
 
-def _cmd_attack_all() -> int:
-    study = WideLeakStudy.with_default_apps()
+def _cmd_attack_all(jobs: int = 1) -> int:
+    from repro.core.parallel import ParallelStudyRunner
+
+    runner = ParallelStudyRunner(WideLeakStudy.with_default_apps(), jobs=jobs)
     broken = []
-    for name, outcome in study.run_all_attacks().items():
+    for name, outcome in runner.run_all_attacks().items():
         ok = outcome.recovered is not None and outcome.recovered.succeeded
         best = outcome.recovered.best_video_height if ok else "-"
         print(f"{name:22s} {'BROKEN' if ok else 'resisted':9s} best={best}")
@@ -155,7 +178,7 @@ def _cmd_attack_all() -> int:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "table1":
-        return _cmd_table1()
+        return _cmd_table1(args.jobs)
     if args.command == "figure1":
         return _cmd_figure1()
     if args.command == "list-apps":
@@ -165,7 +188,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "attack":
         return _cmd_attack(args.app)
     if args.command == "attack-all":
-        return _cmd_attack_all()
+        return _cmd_attack_all(args.jobs)
     return 2
 
 

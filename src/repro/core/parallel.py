@@ -1,0 +1,148 @@
+"""Parallel study orchestration.
+
+The paper's study (§IV) is embarrassingly parallel across apps: every
+research question and the §IV-D attack run the same pipeline against a
+different service's backend. :class:`ParallelStudyRunner` fans
+:meth:`~repro.core.study.WideLeakStudy.study_app` and
+:meth:`~repro.core.study.WideLeakStudy.run_attack` out over a thread
+pool while keeping the output **byte-identical** to the sequential run.
+
+Isolation model
+---------------
+
+Shared, read-mostly world: the :class:`~repro.net.network.Network`
+registry, the :class:`~repro.license_server.provisioning.KeyboxAuthority`
+and the ten service backends are built once and shared — their mutable
+registries are lock-protected, and each worker task only exercises its
+own app's service origins.
+
+Per-task device sessions: the sequential study reuses two shared
+devices across all ten apps, which is unshareable state under
+concurrency (plugin sessions, traces, persistent stores). Each parallel
+task therefore boots a fresh :class:`DeviceSession` — the same device
+models with the *same serials*, hence the same factory keyboxes and the
+same derived crypto. Because every pipeline stage is a deterministic
+function of (backend, freshly-booted device) and never of accumulated
+device history, per-app results — and therefore the assembled
+``StudyResult`` — come out byte-identical to the sequential run (the
+test suite asserts this).
+
+Determinism notwithstanding ``jobs``: results are assembled in profile
+order after all futures resolve, so scheduling order never leaks into
+the artifact.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.android.device import AndroidDevice, nexus_5, pixel_6
+from repro.core.report import TableOne
+from repro.core.study import (
+    AppStudyResult,
+    AttackStudyResult,
+    StudyResult,
+    WideLeakStudy,
+)
+from repro.ott.profile import OttProfile
+
+__all__ = ["DeviceSession", "ParallelStudyRunner"]
+
+
+class DeviceSession:
+    """A worker's own researcher-device pair, booted against the shared
+    world.
+
+    Mirrors the sequential study's setup: a current L1 Pixel 6 and the
+    discontinued L3 Nexus 5, both rooted. The serials match the shared
+    devices', so the keybox authority sees the same factory keyboxes
+    (registration is last-writer-wins with identical values) and every
+    derived key matches the sequential run's.
+    """
+
+    def __init__(self, study: WideLeakStudy):
+        self.l1_device: AndroidDevice = pixel_6(study.network, study.authority)
+        self.l1_device.rooted = True
+        self.legacy_device: AndroidDevice = nexus_5(study.network, study.authority)
+        self.legacy_device.rooted = True
+
+
+class ParallelStudyRunner:
+    """Run the WideLeak study with a configurable degree of parallelism.
+
+    ``jobs=1`` (the default) delegates straight to the sequential
+    :meth:`WideLeakStudy.run` / :meth:`WideLeakStudy.run_all_attacks`
+    code paths; ``jobs>1`` fans apps out across a
+    :class:`~concurrent.futures.ThreadPoolExecutor`.
+    """
+
+    def __init__(
+        self,
+        study: WideLeakStudy | None = None,
+        *,
+        jobs: int = 1,
+        profiles: tuple[OttProfile, ...] | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if study is not None and profiles is not None:
+            raise ValueError("pass either a study or profiles, not both")
+        self.study = study if study is not None else WideLeakStudy(profiles=profiles)
+        self.jobs = jobs
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _effective_jobs(self, task_count: int) -> int:
+        return max(1, min(self.jobs, task_count))
+
+    def _study_one(self, profile: OttProfile) -> AppStudyResult:
+        session = DeviceSession(self.study)
+        return self.study.study_app(
+            profile,
+            l1_device=session.l1_device,
+            legacy_device=session.legacy_device,
+        )
+
+    def _attack_one(self, profile: OttProfile) -> AttackStudyResult:
+        session = DeviceSession(self.study)
+        return self.study.run_attack(
+            profile, legacy_device=session.legacy_device
+        )
+
+    # -- the study -------------------------------------------------------------
+
+    def run(self) -> StudyResult:
+        """Q1–Q4 across every profile; Table I in profile order."""
+        profiles = self.study.profiles
+        jobs = self._effective_jobs(len(profiles))
+        if jobs == 1:
+            return self.study.run()
+
+        with ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="wideleak-study"
+        ) as pool:
+            app_results = list(pool.map(self._study_one, profiles))
+
+        result = StudyResult(table=TableOne())
+        for profile, app_result in zip(profiles, app_results):
+            result.apps[profile.name] = app_result
+            result.table.add(self.study._to_row(app_result))
+        return result
+
+    # -- §IV-D -----------------------------------------------------------------
+
+    def run_all_attacks(self) -> dict[str, AttackStudyResult]:
+        """The key-ladder attack sweep, fanned out per app."""
+        profiles = self.study.profiles
+        jobs = self._effective_jobs(len(profiles))
+        if jobs == 1:
+            return self.study.run_all_attacks()
+
+        with ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="wideleak-attack"
+        ) as pool:
+            outcomes = list(pool.map(self._attack_one, profiles))
+        return {
+            profile.name: outcome
+            for profile, outcome in zip(profiles, outcomes)
+        }

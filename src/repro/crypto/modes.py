@@ -4,11 +4,18 @@ Provides ECB, CBC and CTR over the raw AES transform, plus PKCS#7
 padding. CTR is the mode CENC's ``cenc`` protection scheme uses
 (ISO/IEC 23001-7), with the 16-byte counter block formed from an 8- or
 16-byte IV; the helpers here accept both layouts.
+
+All helpers obtain their cipher through :func:`repro.crypto.aes.cipher_for`,
+so repeated calls under the same key skip key expansion, and bulk
+keystream XOR runs over whole buffers as wide integers rather than
+per-byte Python loops.
 """
 
 from __future__ import annotations
 
-from repro.crypto.aes import AES, BLOCK_SIZE
+from functools import lru_cache
+
+from repro.crypto.aes import BLOCK_SIZE, cipher_for
 
 __all__ = [
     "pkcs7_pad",
@@ -18,15 +25,20 @@ __all__ = [
     "cbc_encrypt",
     "cbc_decrypt",
     "ctr_transform",
+    "ctr_keystream",
     "xor_bytes",
 ]
+
+_MASK128 = (1 << 128) - 1
 
 
 def xor_bytes(a: bytes, b: bytes) -> bytes:
     """XOR two equal-length byte strings."""
     if len(a) != len(b):
         raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
-    return bytes(x ^ y for x, y in zip(a, b))
+    return (
+        int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+    ).to_bytes(len(a), "big")
 
 
 def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
@@ -57,7 +69,7 @@ def ecb_encrypt(key: bytes, plaintext: bytes) -> bytes:
     """AES-ECB over already block-aligned *plaintext* (no padding)."""
     if len(plaintext) % BLOCK_SIZE:
         raise ValueError("ECB input must be block aligned")
-    cipher = AES(key)
+    cipher = cipher_for(key)
     return b"".join(
         cipher.encrypt_block(plaintext[i : i + BLOCK_SIZE])
         for i in range(0, len(plaintext), BLOCK_SIZE)
@@ -68,7 +80,7 @@ def ecb_decrypt(key: bytes, ciphertext: bytes) -> bytes:
     """Inverse of :func:`ecb_encrypt`."""
     if len(ciphertext) % BLOCK_SIZE:
         raise ValueError("ECB input must be block aligned")
-    cipher = AES(key)
+    cipher = cipher_for(key)
     return b"".join(
         cipher.decrypt_block(ciphertext[i : i + BLOCK_SIZE])
         for i in range(0, len(ciphertext), BLOCK_SIZE)
@@ -83,12 +95,13 @@ def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes, *, pad: bool = True) ->
         plaintext = pkcs7_pad(plaintext)
     elif len(plaintext) % BLOCK_SIZE:
         raise ValueError("unpadded CBC input must be block aligned")
-    cipher = AES(key)
+    cipher = cipher_for(key)
+    encrypt_block = cipher.encrypt_block
     out = bytearray()
     previous = iv
     for i in range(0, len(plaintext), BLOCK_SIZE):
         block = xor_bytes(plaintext[i : i + BLOCK_SIZE], previous)
-        previous = cipher.encrypt_block(block)
+        previous = encrypt_block(block)
         out.extend(previous)
     return bytes(out)
 
@@ -99,12 +112,13 @@ def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes, *, pad: bool = True) -
         raise ValueError("CBC IV must be 16 bytes")
     if len(ciphertext) % BLOCK_SIZE:
         raise ValueError("CBC ciphertext must be block aligned")
-    cipher = AES(key)
+    cipher = cipher_for(key)
+    decrypt_block = cipher.decrypt_block
     out = bytearray()
     previous = iv
     for i in range(0, len(ciphertext), BLOCK_SIZE):
         block = ciphertext[i : i + BLOCK_SIZE]
-        out.extend(xor_bytes(cipher.decrypt_block(block), previous))
+        out.extend(xor_bytes(decrypt_block(block), previous))
         previous = block
     plaintext = bytes(out)
     return pkcs7_unpad(plaintext) if pad else plaintext
@@ -118,11 +132,52 @@ def _counter_block(iv: bytes, block_index: int) -> bytes:
     big-endian block counter in the low half.
     """
     if len(iv) == 16:
-        counter = (int.from_bytes(iv, "big") + block_index) % (1 << 128)
+        counter = (int.from_bytes(iv, "big") + block_index) & _MASK128
         return counter.to_bytes(16, "big")
     if len(iv) == 8:
-        return iv + (block_index % (1 << 64)).to_bytes(8, "big")
+        return iv + (block_index & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "big")
     raise ValueError("CTR IV must be 8 or 16 bytes")
+
+
+def ctr_counters(iv: bytes, initial_block: int, nblocks: int) -> list[int]:
+    """The 128-bit counter-block values for a CTR run.
+
+    Shared with :mod:`repro.bmff.cenc`, which uses the same two counter
+    layouts for the ``cenc`` scheme keystream.
+    """
+    if len(iv) == 16:
+        start = int.from_bytes(iv, "big") + initial_block
+        return [(start + i) & _MASK128 for i in range(nblocks)]
+    if len(iv) == 8:
+        prefix = int.from_bytes(iv, "big") << 64
+        low_mask = 0xFFFFFFFFFFFFFFFF
+        return [
+            prefix | ((initial_block + i) & low_mask) for i in range(nblocks)
+        ]
+    raise ValueError("CTR IV must be 8 or 16 bytes")
+
+
+@lru_cache(maxsize=4096)
+def _keystream_blocks(
+    key: bytes, iv: bytes, initial_block: int, nblocks: int
+) -> bytes:
+    return cipher_for(key).keystream(ctr_counters(iv, initial_block, nblocks))
+
+
+def ctr_keystream(
+    key: bytes, iv: bytes, length: int, *, initial_block: int = 0
+) -> bytes:
+    """The CTR keystream for *length* bytes, LRU-cached per counter run.
+
+    CTR keystreams are pure functions of ``(key, iv, counter)``, and the
+    simulation re-derives identical runs constantly: every CENC segment
+    encrypted at packaging time is decrypted with the *same* keystream
+    during the playback audits and media recovery, and the deterministic
+    world rebuilds in tests and benchmarks repeat the exact derivations.
+    Caching the block run turns all of those into a single wide XOR.
+    """
+    nblocks = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
+    return _keystream_blocks(key, iv, initial_block, nblocks)[:length]
 
 
 def ctr_transform(
@@ -132,14 +187,16 @@ def ctr_transform(
 
     ``initial_block`` offsets the counter, which CENC subsample
     decryption needs when a sample's protected ranges resume mid-stream.
+
+    The keystream is generated in one pass over the counter run (cached
+    — see :func:`ctr_keystream`) and the XOR applied to the whole buffer
+    at once via arbitrary-precision integers — the fast path the
+    per-segment CENC encryption loop sits on.
     """
-    cipher = AES(key)
-    out = bytearray(len(data))
-    for i in range(0, len(data), BLOCK_SIZE):
-        keystream = cipher.encrypt_block(
-            _counter_block(iv, initial_block + i // BLOCK_SIZE)
-        )
-        chunk = data[i : i + BLOCK_SIZE]
-        for j, byte in enumerate(chunk):
-            out[i + j] = byte ^ keystream[j]
-    return bytes(out)
+    if not data:
+        return b""
+    size = len(data)
+    keystream = ctr_keystream(key, iv, size, initial_block=initial_block)
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(keystream, "big")
+    ).to_bytes(size, "big")

@@ -14,6 +14,7 @@ suite cache expensive keys by seed.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass
 
 from repro.crypto.rng import HmacDrbg, derive_rng
@@ -158,6 +159,8 @@ class RsaPrivateKey:
 
 
 _KEY_CACHE: dict[tuple[bytes, int], RsaPrivateKey] = {}
+_KEY_CACHE_LOCK = threading.Lock()
+_KEY_CACHE_INFLIGHT: dict[tuple[bytes, int], threading.Event] = {}
 
 
 def generate_keypair(
@@ -168,14 +171,35 @@ def generate_keypair(
     Results are cached by (DRBG label seed, bits) when no explicit rng
     is supplied, because 2048-bit generation in pure Python costs
     noticeable wall-clock and the simulation mints many devices.
+
+    The cache is thread-safe with per-label in-flight tracking: when
+    parallel study workers provision devices with the same serial
+    simultaneously, one thread generates while the rest wait for the
+    result instead of duplicating the most expensive computation in the
+    whole substrate.
     """
-    cache_key = None
     if rng is None:
         cache_key = (label.encode(), bits)
-        cached = _KEY_CACHE.get(cache_key)
-        if cached is not None:
-            return cached
-        rng = derive_rng(label)
+        while True:
+            with _KEY_CACHE_LOCK:
+                cached = _KEY_CACHE.get(cache_key)
+                if cached is not None:
+                    return cached
+                pending = _KEY_CACHE_INFLIGHT.get(cache_key)
+                if pending is None:
+                    _KEY_CACHE_INFLIGHT[cache_key] = threading.Event()
+                    break
+            # Another thread is generating this exact key; wait for it,
+            # then re-check the cache (or take over if it failed).
+            pending.wait()
+        try:
+            key = generate_keypair(bits, rng=derive_rng(label))
+            with _KEY_CACHE_LOCK:
+                _KEY_CACHE[cache_key] = key
+        finally:
+            with _KEY_CACHE_LOCK:
+                _KEY_CACHE_INFLIGHT.pop(cache_key).set()
+        return key
     e = 65537
     while True:
         p = _generate_prime(bits // 2, rng)
@@ -189,10 +213,7 @@ def generate_keypair(
         if n.bit_length() != bits:
             continue
         d = pow(e, -1, phi)
-        key = RsaPrivateKey(n=n, e=e, d=d, p=p, q=q)
-        if cache_key is not None:
-            _KEY_CACHE[cache_key] = key
-        return key
+        return RsaPrivateKey(n=n, e=e, d=d, p=p, q=q)
 
 
 # --- PKCS#1 v2.2 encoding ---------------------------------------------

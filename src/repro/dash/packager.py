@@ -10,6 +10,8 @@ tracks get keys, how many keys) come from
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.bmff.builder import build_init_segment, build_media_segment
@@ -26,13 +28,85 @@ from repro.media.content import Representation, Title, TrackKind
 from repro.media.subtitles import build_webvtt
 from repro.net.cdn import CdnServer
 
-__all__ = ["TrackCrypto", "PackagedTitle", "Packager"]
+__all__ = [
+    "TrackCrypto",
+    "PackagedTitle",
+    "Packager",
+    "segment_cache_stats",
+    "clear_segment_cache",
+]
 
 _MIME_BY_KIND = {
     TrackKind.VIDEO: "video/mp4",
     TrackKind.AUDIO: "audio/mp4",
     TrackKind.TEXT: "text/vtt",
 }
+
+
+class _SegmentCache:
+    """Process-wide LRU of packaged (encrypted) media segments.
+
+    Segment bytes are a pure function of the packaging inputs: the
+    sample payloads derive deterministically from
+    ``(title_id, rep_id, codec, bitrate, segment duration)``, the IV
+    sequence from ``(service, title_id, rep_id, segment index)``, and
+    the ciphertext from the content key and protection scheme. The ten
+    study backends — and every deterministic world rebuild in tests and
+    benchmarks — therefore re-encrypt byte-identical segments; memoizing
+    them removes that CPU cost from study construction.
+
+    Thread-safe: the parallel study runner may rebuild device worlds
+    concurrently with packaging still in flight elsewhere.
+    """
+
+    def __init__(self, max_entries: int = 8192):
+        self._entries: OrderedDict[tuple, bytes] = OrderedDict()
+        self._max_entries = max_entries
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, cache_key: tuple) -> bytes | None:
+        with self._lock:
+            segment = self._entries.get(cache_key)
+            if segment is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(cache_key)
+            self.hits += 1
+            return segment
+
+    def put(self, cache_key: tuple, segment: bytes) -> None:
+        with self._lock:
+            self._entries[cache_key] = segment
+            self._entries.move_to_end(cache_key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+_SEGMENT_CACHE = _SegmentCache()
+
+
+def segment_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the packaged-segment cache."""
+    cache = _SEGMENT_CACHE
+    with cache._lock:
+        return {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "entries": len(cache._entries),
+        }
+
+
+def clear_segment_cache() -> None:
+    """Drop all memoized segments (cold-start benchmarking)."""
+    _SEGMENT_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -209,28 +283,29 @@ class Packager:
         segment_urls: list[str] = []
         clear_len = sample_header_length()
         for seg_index in range(title.segment_count):
-            samples = title.samples_for_segment(rep, seg_index)
-            if crypto.protected:
-                assert crypto.key is not None
-                seed = f"{self.service}/{title.title_id}/{rep.rep_id}/{seg_index}"
-                ivs = iv_sequence(seed.encode(), len(samples), iv_size=crypto.iv_size)
-                if crypto.scheme == "cbcs":
-                    enc: list[CencSample] = [
-                        encrypt_sample_cbcs(
-                            s, crypto.key, iv, clear_header=clear_len
-                        )
-                        for s, iv in zip(samples, ivs)
-                    ]
-                else:
-                    enc = [
-                        encrypt_sample(s, crypto.key, iv, clear_header=clear_len)
-                        for s, iv in zip(samples, ivs)
-                    ]
-                segment = build_media_segment(
-                    seg_index + 1, enc, iv_size=crypto.iv_size
+            # Everything the segment bytes depend on: sample payloads
+            # (title/rep identity, bitrate, segment duration), the IV
+            # seed (service-scoped), and the crypto assignment.
+            cache_key = (
+                self.service,
+                title.title_id,
+                title.segment_duration_s,
+                rep.rep_id,
+                rep.codec,
+                rep.bitrate_kbps,
+                seg_index,
+                crypto.key,
+                crypto.key_id,
+                crypto.iv_size,
+                crypto.scheme,
+                clear_len,
+            )
+            segment = _SEGMENT_CACHE.get(cache_key)
+            if segment is None:
+                segment = self._build_media_segment(
+                    title, rep, crypto, seg_index, clear_len
                 )
-            else:
-                segment = build_media_segment(seg_index + 1, samples)
+                _SEGMENT_CACHE.put(cache_key, segment)
             path = f"{base}/{rep.rep_id}/seg-{seg_index:04d}.m4s"
             segment_urls.append(self.cdn.put(path, segment))
 
@@ -247,6 +322,33 @@ class Packager:
             height=rep.resolution.height if rep.resolution else None,
             content_protections=protections,
         )
+
+    def _build_media_segment(
+        self,
+        title: Title,
+        rep: Representation,
+        crypto: TrackCrypto,
+        seg_index: int,
+        clear_len: int,
+    ) -> bytes:
+        """Generate, encrypt and box one media segment (cache miss path)."""
+        samples = title.samples_for_segment(rep, seg_index)
+        if not crypto.protected:
+            return build_media_segment(seg_index + 1, samples)
+        assert crypto.key is not None
+        seed = f"{self.service}/{title.title_id}/{rep.rep_id}/{seg_index}"
+        ivs = iv_sequence(seed.encode(), len(samples), iv_size=crypto.iv_size)
+        if crypto.scheme == "cbcs":
+            enc: list[CencSample] = [
+                encrypt_sample_cbcs(s, crypto.key, iv, clear_header=clear_len)
+                for s, iv in zip(samples, ivs)
+            ]
+        else:
+            enc = [
+                encrypt_sample(s, crypto.key, iv, clear_header=clear_len)
+                for s, iv in zip(samples, ivs)
+            ]
+        return build_media_segment(seg_index + 1, enc, iv_size=crypto.iv_size)
 
     def _package_subtitle(
         self,

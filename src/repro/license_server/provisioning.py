@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac as hmac_mod
+import threading
 
 from repro.crypto.kdf import derive_key, derive_session_keys
 from repro.crypto.modes import cbc_encrypt
@@ -39,34 +40,45 @@ class KeyboxAuthority:
     attested level — not whatever a client later *claims* — is what a
     careful license service checks HD entitlements against (see the
     netflix-1080p episode, §V-C).
+
+    The registry is shared study-wide while the parallel runner boots
+    per-worker device sessions concurrently, so access is serialised
+    behind a lock. Registration is last-writer-wins, which is exactly
+    what re-booting a device with the same serial (same factory keybox)
+    needs.
     """
 
     def __init__(self) -> None:
         self._keyboxes: dict[bytes, Keybox] = {}
         self._levels: dict[bytes, str] = {}
+        self._lock = threading.Lock()
 
     def register(self, keybox: Keybox, *, security_level: str = "L3") -> None:
-        self._keyboxes[keybox.device_id] = keybox
-        self._levels[keybox.device_id] = security_level
+        with self._lock:
+            self._keyboxes[keybox.device_id] = keybox
+            self._levels[keybox.device_id] = security_level
 
     def device_key_for(self, device_id: bytes) -> bytes:
-        try:
-            return self._keyboxes[device_id].device_key
-        except KeyError:
-            raise LookupError(
-                f"unknown device id {device_id.hex()[:16]}…"
-            ) from None
+        with self._lock:
+            try:
+                return self._keyboxes[device_id].device_key
+            except KeyError:
+                raise LookupError(
+                    f"unknown device id {device_id.hex()[:16]}…"
+                ) from None
 
     def attested_level_for(self, device_id: bytes) -> str:
-        try:
-            return self._levels[device_id]
-        except KeyError:
-            raise LookupError(
-                f"unknown device id {device_id.hex()[:16]}…"
-            ) from None
+        with self._lock:
+            try:
+                return self._levels[device_id]
+            except KeyError:
+                raise LookupError(
+                    f"unknown device id {device_id.hex()[:16]}…"
+                ) from None
 
     def knows(self, device_id: bytes) -> bool:
-        return device_id in self._keyboxes
+        with self._lock:
+            return device_id in self._keyboxes
 
 
 class ProvisioningRecords:

@@ -11,6 +11,7 @@ methodology engineers with Burp + Frida.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING
 
 from repro.net.http import HttpRequest, HttpResponse
@@ -24,21 +25,31 @@ __all__ = ["Network", "HttpClient"]
 
 
 class Network:
-    """Hostname → server registry plus optional per-client proxying."""
+    """Hostname → server registry plus optional per-client proxying.
+
+    The registry is shared by every device and backend on the simulated
+    network, and the parallel study runner resolves hosts from many
+    worker threads at once — registration and lookup are serialised
+    behind a lock (lookups return the server object, whose handling is
+    per-service state touched by one study worker at a time).
+    """
 
     def __init__(self) -> None:
         self._servers: dict[str, VirtualServer] = {}
+        self._lock = threading.Lock()
 
     def register(self, server: VirtualServer) -> None:
-        if server.hostname in self._servers:
-            raise ValueError(f"host already registered: {server.hostname}")
-        self._servers[server.hostname] = server
+        with self._lock:
+            if server.hostname in self._servers:
+                raise ValueError(f"host already registered: {server.hostname}")
+            self._servers[server.hostname] = server
 
     def server_for(self, hostname: str) -> VirtualServer:
-        try:
-            return self._servers[hostname]
-        except KeyError:
-            raise LookupError(f"unknown host {hostname!r}") from None
+        with self._lock:
+            try:
+                return self._servers[hostname]
+            except KeyError:
+                raise LookupError(f"unknown host {hostname!r}") from None
 
     def deliver(self, request: HttpRequest) -> HttpResponse:
         """Origin-side delivery (no client TLS policy applied)."""

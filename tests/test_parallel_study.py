@@ -1,0 +1,173 @@
+"""Parallel study runner: determinism and shared-world thread safety.
+
+The headline contract is byte-identity: fanning the per-app pipelines
+out over worker threads must produce exactly the artifact the
+sequential reference run produces. The remaining tests hammer the two
+genuinely shared registries (:class:`~repro.net.network.Network` and
+:class:`~repro.license_server.provisioning.KeyboxAuthority`) from many
+threads at once.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.parallel import DeviceSession, ParallelStudyRunner
+from repro.core.study import WideLeakStudy
+from repro.license_server.provisioning import KeyboxAuthority
+from repro.net.network import Network
+from repro.net.server import VirtualServer
+from repro.ott.registry import ALL_PROFILES
+from repro.widevine.keybox import issue_keybox
+
+
+# --- determinism: parallel == sequential, byte for byte -----------------------
+
+
+def test_parallel_study_matches_sequential_byte_identical():
+    """jobs=4 and the sequential reference emit identical artifacts."""
+    sequential = WideLeakStudy.with_default_apps().run()
+    parallel = ParallelStudyRunner(
+        WideLeakStudy.with_default_apps(), jobs=4
+    ).run()
+    assert parallel.to_json() == sequential.to_json()
+    assert parallel.table.render() == sequential.table.render()
+    assert parallel.table.matches_paper
+
+
+def test_parallel_attacks_match_sequential():
+    """The §IV-D sweep recovers the same keys and media either way."""
+    sequential = WideLeakStudy.with_default_apps().run_all_attacks()
+    parallel = ParallelStudyRunner(
+        WideLeakStudy.with_default_apps(), jobs=4
+    ).run_all_attacks()
+    assert set(parallel) == set(sequential)
+    for name, seq in sequential.items():
+        par = parallel[name]
+        assert par.attack.keybox_recovered == seq.attack.keybox_recovered
+        assert par.attack.rsa_recovered == seq.attack.rsa_recovered
+        assert par.attack.content_keys == seq.attack.content_keys
+        if seq.recovered is None:
+            assert par.recovered is None
+        else:
+            assert par.recovered is not None
+            assert par.recovered.succeeded == seq.recovered.succeeded
+            assert (
+                par.recovered.best_video_height
+                == seq.recovered.best_video_height
+            )
+
+
+def test_jobs_one_delegates_to_sequential_run():
+    runner = ParallelStudyRunner(WideLeakStudy.with_default_apps(), jobs=1)
+    result = runner.run()
+    assert len(result.table.rows) == len(ALL_PROFILES)
+    assert result.table.matches_paper
+
+
+def test_device_session_mirrors_shared_serials():
+    """Per-worker sessions boot the same device identities as the
+    study's shared pair, so the keybox authority resolves identically."""
+    study = WideLeakStudy.with_default_apps()
+    session = DeviceSession(study)
+    assert session.l1_device.serial == study.l1_device.serial
+    assert session.legacy_device.serial == study.legacy_device.serial
+    assert session.l1_device.rooted and session.legacy_device.rooted
+
+
+def test_runner_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        ParallelStudyRunner(jobs=0)
+    with pytest.raises(ValueError):
+        ParallelStudyRunner(
+            WideLeakStudy.with_default_apps(), profiles=ALL_PROFILES[:1]
+        )
+
+
+# --- thread safety of the shared world ----------------------------------------
+
+
+def test_network_concurrent_register_and_lookup():
+    """Registration from many threads never corrupts the registry or
+    lets a lookup observe a half-registered host."""
+    network = Network()
+    hosts = [f"host-{i}.example" for i in range(64)]
+
+    def register_then_resolve(hostname: str) -> str:
+        network.register(VirtualServer(hostname))
+        # Resolve every host registered so far, from every thread.
+        return network.server_for(hostname).hostname
+
+    with ThreadPoolExecutor(max_workers=16) as pool:
+        resolved = list(pool.map(register_then_resolve, hosts))
+
+    assert resolved == hosts
+    for hostname in hosts:
+        assert network.server_for(hostname).hostname == hostname
+
+
+def test_network_duplicate_registration_raced():
+    """Exactly one of N racing registrations for the same host wins."""
+    network = Network()
+    server = VirtualServer("raced.example")
+
+    def attempt(_: int) -> bool:
+        try:
+            network.register(VirtualServer("raced.example"))
+            return True
+        except ValueError:
+            return False
+
+    network.register(server)
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        wins = list(pool.map(attempt, range(32)))
+    assert not any(wins)
+    assert network.server_for("raced.example") is server
+
+
+def test_keybox_authority_concurrent_provisioning():
+    """Concurrent registration + lookup across 64 distinct devices, plus
+    re-registration of the same serial (the parallel runner's same-serial
+    device sessions), never loses or mixes up an entry."""
+    authority = KeyboxAuthority()
+    serials = [f"DEV-{i:03d}" for i in range(64)]
+    keyboxes = {serial: issue_keybox(serial) for serial in serials}
+
+    def provision(serial: str) -> bytes:
+        keybox = keyboxes[serial]
+        level = "L1" if int(serial[4:]) % 2 == 0 else "L3"
+        authority.register(keybox, security_level=level)
+        # Re-register, as a second worker booting the same serial would.
+        authority.register(keybox, security_level=level)
+        assert authority.knows(keybox.device_id)
+        return authority.device_key_for(keybox.device_id)
+
+    with ThreadPoolExecutor(max_workers=16) as pool:
+        device_keys = list(pool.map(provision, serials))
+
+    for serial, device_key in zip(serials, device_keys):
+        keybox = keyboxes[serial]
+        assert device_key == keybox.device_key
+        expected_level = "L1" if int(serial[4:]) % 2 == 0 else "L3"
+        assert authority.attested_level_for(keybox.device_id) == expected_level
+
+
+def test_keybox_authority_unknown_device_still_raises():
+    authority = KeyboxAuthority()
+    with pytest.raises(LookupError):
+        authority.device_key_for(bytes(32))
+    with pytest.raises(LookupError):
+        authority.attested_level_for(bytes(32))
+
+
+# --- CLI wiring ---------------------------------------------------------------
+
+
+def test_cli_table1_accepts_jobs(capsys):
+    from repro.cli import main
+
+    assert main(["table1", "--jobs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Cell-for-cell match" in out
