@@ -1,0 +1,54 @@
+"""Deep static analysis (§IV-B, first prong — made measurable).
+
+Two prongs share this package:
+
+- the **APK dataflow engine** (:mod:`callgraph`, :mod:`taint`,
+  :mod:`engine`): builds a call graph with entry-point reachability so
+  the paper's static over-approximation (dead code) becomes a measured
+  quantity, and runs a source→sink taint pass over DRM key material,
+  tagging findings with CWE ids. :mod:`crosscheck` reconciles static
+  call sites with what the dynamic monitor actually observed;
+- the **repo invariant linter** (:mod:`lint`): AST rules that guard the
+  concurrency/determinism substrate this codebase itself relies on
+  (lock-protected registries, seeded randomness, the simulated clock).
+"""
+
+from repro.analysis.callgraph import CallGraph, DrmCallSite
+from repro.analysis.crosscheck import (
+    CONFIRMED,
+    DYNAMIC_ONLY,
+    STATIC_ONLY,
+    CrossCheckResult,
+    cross_check,
+)
+from repro.analysis.engine import ApkAnalysisReport, analyze
+from repro.analysis.lint import LintViolation, lint_paths, lint_source
+from repro.analysis.taint import (
+    TaintFinding,
+    TaintSink,
+    TaintSource,
+    default_ruleset,
+    registered_sinks,
+    registered_sources,
+)
+
+__all__ = [
+    "CallGraph",
+    "DrmCallSite",
+    "ApkAnalysisReport",
+    "analyze",
+    "CrossCheckResult",
+    "cross_check",
+    "CONFIRMED",
+    "STATIC_ONLY",
+    "DYNAMIC_ONLY",
+    "TaintSource",
+    "TaintSink",
+    "TaintFinding",
+    "default_ruleset",
+    "registered_sources",
+    "registered_sinks",
+    "LintViolation",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,147 @@
+"""Call graph over the decompiled APK model.
+
+The paper pairs static scanning with dynamic monitoring *because*
+"decompilation alone over-approximates": a ``MediaDrm`` reference in a
+shipped class proves nothing about runtime behaviour if no execution
+path reaches it. With per-method bodies in :class:`~repro.android.
+packages.ApkClass`, that over-approximation stops being a caveat and
+becomes a measurement — the graph walks from the framework entry points
+(activity lifecycle) and splits every DRM call site into *reachable*
+versus *dead code*.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.android.packages import Apk, decompile
+
+__all__ = ["CallGraph", "DrmCallSite", "DRM_API_PREFIXES"]
+
+# The Android DRM API surface the study scans for (§IV-B).
+DRM_API_PREFIXES = (
+    "android.media.MediaDrm",
+    "android.media.MediaCrypto",
+)
+
+
+@dataclass(frozen=True)
+class DrmCallSite:
+    """One static call into the Android DRM API."""
+
+    caller_class: str
+    caller_method: str  # "" when only the flat method_refs view has it
+    callee: str
+    reachable: bool
+
+    @property
+    def caller(self) -> str:
+        if not self.caller_method:
+            return self.caller_class
+        return f"{self.caller_class}.{self.caller_method}"
+
+
+@dataclass
+class CallGraph:
+    """Method-level call graph of one APK."""
+
+    apk_package: str
+    # node -> callees defined in this APK (edges stay inside the graph)
+    edges: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    # node -> every call the body makes, including platform APIs
+    calls: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    entry_points: tuple[str, ...] = ()
+    _reachable: frozenset[str] | None = field(default=None, repr=False)
+
+    @classmethod
+    def from_apk(cls, apk: Apk) -> "CallGraph":
+        nodes: dict[str, tuple[str, ...]] = {}
+        for klass in decompile(apk):
+            for method in klass.methods:
+                nodes[f"{klass.name}.{method.name}"] = method.calls
+        graph = cls(apk_package=apk.package, entry_points=apk.entry_points)
+        for node, outgoing in nodes.items():
+            graph.calls[node] = outgoing
+            graph.edges[node] = tuple(c for c in outgoing if c in nodes)
+        return graph
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(self.edges)
+
+    def reachable_methods(self) -> frozenset[str]:
+        """Methods reachable from the framework entry points (BFS)."""
+        if self._reachable is not None:
+            return self._reachable
+        seen: set[str] = set()
+        queue = deque(ep for ep in self.entry_points if ep in self.edges)
+        seen.update(queue)
+        while queue:
+            node = queue.popleft()
+            for callee in self.edges[node]:
+                if callee not in seen:
+                    seen.add(callee)
+                    queue.append(callee)
+        frozen = frozenset(seen)
+        object.__setattr__(self, "_reachable", frozen)
+        return frozen
+
+    def is_reachable(self, qualified_method: str) -> bool:
+        return qualified_method in self.reachable_methods()
+
+    def dead_methods(self) -> tuple[str, ...]:
+        """Defined methods no entry point reaches, in definition order."""
+        reachable = self.reachable_methods()
+        return tuple(n for n in self.edges if n not in reachable)
+
+    # -- the DRM-specific view (§IV-B scan, now reachability-aware) --------
+
+    def drm_call_sites(
+        self, apk: Apk, prefixes: tuple[str, ...] = DRM_API_PREFIXES
+    ) -> list[DrmCallSite]:
+        """Every static DRM call site, classified reachable/dead.
+
+        Method bodies yield precise sites; classes carrying only the
+        flat ``method_refs`` view (no bodies) are conservatively treated
+        as dead unless some body-level path reaches a method of theirs —
+        matching how a real decompiler degrades on obfuscated classes.
+        """
+        reachable = self.reachable_methods()
+        sites: list[DrmCallSite] = []
+        seen: set[tuple[str, str, str]] = set()
+        for klass in decompile(apk):
+            for method in klass.methods:
+                node = f"{klass.name}.{method.name}"
+                for callee in method.calls:
+                    if not callee.startswith(prefixes):
+                        continue
+                    key = (klass.name, method.name, callee)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    sites.append(
+                        DrmCallSite(
+                            caller_class=klass.name,
+                            caller_method=method.name,
+                            callee=callee,
+                            reachable=node in reachable,
+                        )
+                    )
+            body_calls = {c for m in klass.methods for c in m.calls}
+            for ref in klass.method_refs:
+                if not ref.startswith(prefixes) or ref in body_calls:
+                    continue
+                key = (klass.name, "", ref)
+                if key in seen:
+                    continue
+                seen.add(key)
+                sites.append(
+                    DrmCallSite(
+                        caller_class=klass.name,
+                        caller_method="",
+                        callee=ref,
+                        reachable=False,
+                    )
+                )
+        return sites

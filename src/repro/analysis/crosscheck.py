@@ -1,0 +1,186 @@
+"""Reconcile static DRM call sites with dynamic monitor observations.
+
+§IV-B runs both prongs precisely because each one lies in its own way:
+static scanning sees dead code (over-approximation) and dynamic
+monitoring only sees the paths one playback exercised (under-
+approximation). Holding the two against each other classifies every
+DRM usage as:
+
+- ``confirmed``     — a reachable static call site whose OEMCrypto
+  evidence showed up in the hooked ``_oecc`` records;
+- ``static-only``   — a call site the call graph proves dead, or a
+  reachable one whose evidence never fired (the measured
+  over-approximation);
+- ``dynamic-only``  — observed ``_oecc`` activity with *no* static call
+  site behind it: the app reaches the CDM through code the decompiler
+  could not attribute (native layers, obfuscation — Netflix's secure
+  channel is the worked example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.callgraph import DrmCallSite
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports us)
+    from repro.core.monitor import DrmApiObservation
+
+__all__ = [
+    "CONFIRMED",
+    "STATIC_ONLY",
+    "DYNAMIC_ONLY",
+    "ClassifiedCallSite",
+    "CrossCheckResult",
+    "cross_check",
+]
+
+CONFIRMED = "confirmed"
+STATIC_ONLY = "static-only"
+DYNAMIC_ONLY = "dynamic-only"
+
+# Which hooked ``_oecc`` exports evidence each Android DRM API call.
+# Mirrors how MediaDrm/MediaCrypto fan into OEMCrypto (§II, Figure 1).
+OECC_EVIDENCE: dict[str, tuple[str, ...]] = {
+    # An open session proves the CDM was constructed even when the hook
+    # window missed the one-time _oecc01 bring-up.
+    "android.media.MediaDrm.<init>": (
+        "_oecc01_initialize",
+        "_oecc05_open_session",
+    ),
+    "android.media.MediaDrm.openSession": ("_oecc05_open_session",),
+    "android.media.MediaDrm.closeSession": ("_oecc06_close_session",),
+    "android.media.MediaDrm.getKeyRequest": (
+        "_oecc07_generate_derived_keys",
+        "_oecc08_generate_nonce",
+        "_oecc09_generate_signature",
+    ),
+    "android.media.MediaDrm.provideKeyResponse": (
+        "_oecc10_load_keys",
+        "_oecc24_derive_keys_from_session_key",
+    ),
+    "android.media.MediaDrm.restoreKeys": ("_oecc10_load_keys",),
+    "android.media.MediaDrm.getProvisionRequest": ("_oecc13_get_device_id",),
+    "android.media.MediaDrm.provideProvisionResponse": (
+        "_oecc21_rewrap_device_rsa_key",
+        "_oecc22_load_device_rsa_key",
+    ),
+    "android.media.MediaDrm.getPropertyString": ("_oecc13_get_device_id",),
+    "android.media.MediaCrypto.<init>": (
+        "_oecc11_select_key",
+        "_oecc12_decrypt_ctr",
+        "_oecc28_decrypt_cbcs",
+    ),
+    "android.media.MediaDrm.CryptoSession.encrypt": ("_oecc30_generic_encrypt",),
+    "android.media.MediaDrm.CryptoSession.decrypt": ("_oecc31_generic_decrypt",),
+    "android.media.MediaDrm.CryptoSession.sign": ("_oecc32_generic_sign",),
+    "android.media.MediaDrm.CryptoSession.verify": ("_oecc33_generic_verify",),
+}
+
+# Hooked functions that fire on any Widevine session regardless of which
+# API triggered them — never counted as dynamic-only on their own.
+_AMBIENT_FUNCTIONS = frozenset(
+    {
+        "_oecc01_initialize",
+        "_oecc02_terminate",
+        "_oecc23_generate_rsa_signature",
+        "_oecc25_get_rsa_public_fingerprint",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ClassifiedCallSite:
+    """One static call site with its cross-check verdict."""
+
+    site: DrmCallSite
+    verdict: str  # CONFIRMED | STATIC_ONLY
+    note: str = ""
+
+
+@dataclass
+class CrossCheckResult:
+    """Static-vs-dynamic reconciliation for one app."""
+
+    package: str
+    sites: list[ClassifiedCallSite] = field(default_factory=list)
+    dynamic_only: tuple[str, ...] = ()  # observed _oecc with no static site
+
+    @property
+    def confirmed(self) -> int:
+        return sum(1 for s in self.sites if s.verdict == CONFIRMED)
+
+    @property
+    def static_only(self) -> int:
+        return sum(1 for s in self.sites if s.verdict == STATIC_ONLY)
+
+    @property
+    def dead_code(self) -> int:
+        return sum(
+            1
+            for s in self.sites
+            if s.verdict == STATIC_ONLY and not s.site.reachable
+        )
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "confirmed": self.confirmed,
+            "static_only": self.static_only,
+            "dead_code": self.dead_code,
+            "dynamic_only": len(self.dynamic_only),
+        }
+
+
+def cross_check(
+    package: str,
+    sites: list[DrmCallSite],
+    observation: DrmApiObservation,
+) -> CrossCheckResult:
+    """Classify each static call site against one monitored playback."""
+    observed = set(observation.functions_seen)
+    result = CrossCheckResult(package=package)
+
+    covered: set[str] = set()
+    for site in sites:
+        evidence = OECC_EVIDENCE.get(site.callee, ())
+        fired = sorted(observed.intersection(evidence))
+        if site.reachable and fired:
+            covered.update(fired)
+            result.sites.append(
+                ClassifiedCallSite(
+                    site=site,
+                    verdict=CONFIRMED,
+                    note=f"observed {', '.join(fired)}",
+                )
+            )
+        elif not site.reachable:
+            result.sites.append(
+                ClassifiedCallSite(
+                    site=site,
+                    verdict=STATIC_ONLY,
+                    note="dead code: no call-graph path from any entry point",
+                )
+            )
+        else:
+            result.sites.append(
+                ClassifiedCallSite(
+                    site=site,
+                    verdict=STATIC_ONLY,
+                    note="reachable but no OEMCrypto evidence this playback",
+                )
+            )
+
+    # Evidence any *static* site could account for, dead or not — a dead
+    # getPropertyString site does not make _oecc13 "unattributed".
+    attributable: set[str] = set()
+    for site in sites:
+        attributable.update(OECC_EVIDENCE.get(site.callee, ()))
+    result.dynamic_only = tuple(
+        sorted(
+            fn
+            for fn in observed
+            if fn not in attributable and fn not in _AMBIENT_FUNCTIONS
+        )
+    )
+    return result

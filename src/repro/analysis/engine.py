@@ -1,0 +1,87 @@
+"""The per-app analysis driver: call graph + taint in one report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import CallGraph, DrmCallSite
+from repro.analysis.taint import TaintAnalyzer, TaintFinding
+from repro.android.packages import Apk
+
+__all__ = ["ApkAnalysisReport", "analyze"]
+
+
+@dataclass
+class ApkAnalysisReport:
+    """Everything the dataflow engine learned about one APK."""
+
+    package: str
+    graph: CallGraph
+    call_sites: list[DrmCallSite] = field(default_factory=list)
+    taint_findings: list[TaintFinding] = field(default_factory=list)
+
+    @property
+    def reachable_sites(self) -> list[DrmCallSite]:
+        return [s for s in self.call_sites if s.reachable]
+
+    @property
+    def dead_sites(self) -> list[DrmCallSite]:
+        return [s for s in self.call_sites if not s.reachable]
+
+    def findings_by_cwe(self, cwe: str) -> list[TaintFinding]:
+        return [f for f in self.taint_findings if f.cwe == cwe]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "package": self.package,
+            "methods": len(self.graph.nodes),
+            "reachable_methods": len(self.graph.reachable_methods()),
+            "drm_call_sites": {
+                "reachable": len(self.reachable_sites),
+                "dead": len(self.dead_sites),
+            },
+            "taint_findings": [
+                {
+                    "source": f.source,
+                    "sink": f.sink,
+                    "cwe": f.cwe,
+                    "severity": f.severity,
+                    "reachable": f.reachable,
+                    "path": list(f.path),
+                    "sink_call": f.sink_call,
+                }
+                for f in self.taint_findings
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"package {self.package}: {len(self.graph.nodes)} methods, "
+            f"{len(self.graph.reachable_methods())} reachable from "
+            f"{len(self.graph.entry_points)} entry point(s)"
+        ]
+        lines.append(
+            f"DRM call sites: {len(self.reachable_sites)} reachable, "
+            f"{len(self.dead_sites)} dead code"
+        )
+        for site in self.call_sites:
+            marker = "LIVE" if site.reachable else "dead"
+            lines.append(f"  [{marker}] {site.caller} -> {site.callee}")
+        if self.taint_findings:
+            lines.append(f"taint findings: {len(self.taint_findings)}")
+            for finding in self.taint_findings:
+                lines.append(f"  {finding.describe()}")
+        else:
+            lines.append("taint findings: none")
+        return "\n".join(lines)
+
+
+def analyze(apk: Apk) -> ApkAnalysisReport:
+    """Run the full static pipeline over one APK."""
+    graph = CallGraph.from_apk(apk)
+    return ApkAnalysisReport(
+        package=apk.package,
+        graph=graph,
+        call_sites=graph.drm_call_sites(apk),
+        taint_findings=TaintAnalyzer().run(apk, graph),
+    )

@@ -1,0 +1,447 @@
+"""Repo invariant linter: AST rules guarding the concurrency and
+determinism substrate.
+
+The parallel study runner's byte-identity contract rests on three
+conventions nothing used to enforce:
+
+- shared mutable registries are mutated only under their lock
+  (``REG001``), and hand-rolled LRU caches always *have* a lock
+  (``LRU004``);
+- every random byte comes from the seeded HMAC-DRBG, never the
+  process RNG (``RNG002``);
+- no wall-clock reads outside :mod:`repro.android.clock` — simulated
+  time is advanced explicitly (``CLK003``).
+
+Each rule is pure stdlib ``ast`` — no third-party linter dependency —
+and is self-tested against seeded-violation fixtures in
+``tests/fixtures/lint/``. ``tools/lint_repro.py`` (and the CI lint job)
+runs the whole set over ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "LintViolation",
+    "RULE_IDS",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+RULE_IDS = ("REG001", "RNG002", "CLK003", "LRU004")
+
+# Modules allowed to read the wall clock: the simulation's one clock
+# abstraction. Everything else must take a SimClock.
+_WALL_CLOCK_ALLOWED_SUFFIXES = ("repro/android/clock.py",)
+
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "add",
+        "remove",
+        "discard",
+        "move_to_end",
+    }
+)
+
+_MUTABLE_CALLS = frozenset({"dict", "list", "set", "OrderedDict", "defaultdict"})
+_LOCK_CALLS = frozenset({"Lock", "RLock"})
+
+_FORBIDDEN_RNG = {
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.uniform",
+    "random.choice",
+    "random.choices",
+    "random.shuffle",
+    "random.sample",
+    "random.getrandbits",
+    "random.randbytes",
+    "os.urandom",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbits",
+    "secrets.randbelow",
+    "secrets.choice",
+    "uuid.uuid4",
+}
+
+_FORBIDDEN_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+}
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted-name rendering of a Name/Attribute chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    return ""
+
+
+def _is_mutable_literal(value: ast.AST) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(value, ast.Call):
+        name = _dotted(value.func).rsplit(".", 1)[-1]
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _is_lock_factory(value: ast.AST) -> bool:
+    if isinstance(value, ast.Call):
+        name = _dotted(value.func).rsplit(".", 1)[-1]
+        return name in _LOCK_CALLS
+    return False
+
+
+def _is_ordereddict_call(value: ast.AST) -> bool:
+    return (
+        isinstance(value, ast.Call)
+        and _dotted(value.func).rsplit(".", 1)[-1] == "OrderedDict"
+    )
+
+
+def _with_holds_lock(node: ast.With) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        if "lock" in _dotted(expr).lower():
+            return True
+    return False
+
+
+# -- scope harvesting ----------------------------------------------------------
+
+
+@dataclass
+class _Scope:
+    """Registries and locks declared by one module or one class."""
+
+    registries: set[str]  # plain names (module) or attr names (class)
+    lru_caches: set[str]
+    has_lock: bool
+    is_class: bool
+
+
+def _module_scope(tree: ast.Module) -> _Scope:
+    registries: set[str] = set()
+    caches: set[str] = set()
+    has_lock = False
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.AST | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name) or target.id == "__all__":
+                continue
+            if _is_lock_factory(value):
+                has_lock = True
+            elif _is_ordereddict_call(value):
+                caches.add(target.id)
+                registries.add(target.id)
+            elif _is_mutable_literal(value):
+                registries.add(target.id)
+    return _Scope(registries, caches, has_lock, is_class=False)
+
+
+def _class_scope(cls: ast.ClassDef) -> _Scope:
+    """Instance attributes assigned anywhere in the class's methods."""
+    registries: set[str] = set()
+    caches: set[str] = set()
+    has_lock = False
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                if _is_lock_factory(node.value):
+                    has_lock = True
+                elif _is_ordereddict_call(node.value):
+                    caches.add(target.attr)
+                    registries.add(target.attr)
+                elif _is_mutable_literal(node.value):
+                    registries.add(target.attr)
+    return _Scope(registries, caches, has_lock, is_class=True)
+
+
+# -- mutation scanning ---------------------------------------------------------
+
+
+class _MutationScanner(ast.NodeVisitor):
+    """Walks one function body tracking the with-lock nesting depth."""
+
+    def __init__(
+        self,
+        scope: _Scope,
+        path: str,
+        violations: list[LintViolation],
+        where: str,
+    ):
+        self.scope = scope
+        self.path = path
+        self.violations = violations
+        self.where = where
+        self.lock_depth = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _registry_name(self, node: ast.AST) -> str | None:
+        """The registry this expression denotes, if tracked by scope."""
+        if self.scope.is_class:
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in self.scope.registries
+            ):
+                return f"self.{node.attr}"
+        elif isinstance(node, ast.Name) and node.id in self.scope.registries:
+            return node.id
+        return None
+
+    def _flag(self, node: ast.AST, registry: str) -> None:
+        if self.lock_depth > 0:
+            return
+        self.violations.append(
+            LintViolation(
+                rule="REG001",
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                message=(
+                    f"shared registry {registry!r} mutated outside its lock "
+                    f"in {self.where} (wrap the mutation in `with <lock>:`)"
+                ),
+            )
+        )
+
+    # -- visitors ----------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        held = _with_holds_lock(node)
+        if held:
+            self.lock_depth += 1
+        self.generic_visit(node)
+        if held:
+            self.lock_depth -= 1
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                registry = self._registry_name(target.value)
+                if registry is not None:
+                    self._flag(node, registry)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Subscript):
+            registry = self._registry_name(node.target.value)
+            if registry is not None:
+                self._flag(node, registry)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                registry = self._registry_name(target.value)
+                if registry is not None:
+                    self._flag(node, registry)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATOR_METHODS
+        ):
+            registry = self._registry_name(func.value)
+            if registry is not None:
+                self._flag(node, registry)
+        self.generic_visit(node)
+
+
+def _check_registry_locks(
+    tree: ast.Module, path: str, violations: list[LintViolation]
+) -> None:
+    """REG001 + LRU004 over the module scope and every class scope."""
+
+    def scan_scope(scope: _Scope, owner: ast.AST, label: str) -> None:
+        if scope.lru_caches and not scope.has_lock:
+            for cache in sorted(scope.lru_caches):
+                violations.append(
+                    LintViolation(
+                        rule="LRU004",
+                        path=path,
+                        line=getattr(owner, "lineno", 1),
+                        message=(
+                            f"LRU cache {cache!r} in {label} has no lock: "
+                            "declare a threading.Lock() beside it and mutate "
+                            "under it"
+                        ),
+                    )
+                )
+        if not scope.has_lock or not scope.registries:
+            return
+        body = owner.body if isinstance(owner, (ast.Module, ast.ClassDef)) else []
+        for stmt in body:
+            functions = (
+                [stmt]
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                else []
+            )
+            for func in functions:
+                if func.name == "__init__":
+                    continue  # construction precedes sharing
+                scanner = _MutationScanner(
+                    scope, path, violations, where=f"{label}.{func.name}"
+                )
+                for node in func.body:
+                    scanner.visit(node)
+
+    scan_scope(_module_scope(tree), tree, "module")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            scan_scope(_class_scope(node), node, node.name)
+
+
+def _check_forbidden_calls(
+    tree: ast.Module, path: str, violations: list[LintViolation]
+) -> None:
+    """RNG002 + CLK003: call-pattern bans."""
+    clock_allowed = path.replace("\\", "/").endswith(
+        _WALL_CLOCK_ALLOWED_SUFFIXES
+    )
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if name in _FORBIDDEN_RNG:
+            violations.append(
+                LintViolation(
+                    rule="RNG002",
+                    path=path,
+                    line=node.lineno,
+                    message=(
+                        f"process-level RNG `{name}` breaks study "
+                        "determinism; draw from repro.crypto.rng.derive_rng"
+                    ),
+                )
+            )
+        elif name in ("random.Random", "Random") and not (
+            node.args or node.keywords
+        ):
+            violations.append(
+                LintViolation(
+                    rule="RNG002",
+                    path=path,
+                    line=node.lineno,
+                    message=(
+                        "unseeded random.Random() breaks study determinism; "
+                        "seed it or use repro.crypto.rng.derive_rng"
+                    ),
+                )
+            )
+        elif name in _FORBIDDEN_CLOCK and not clock_allowed:
+            violations.append(
+                LintViolation(
+                    rule="CLK003",
+                    path=path,
+                    line=node.lineno,
+                    message=(
+                        f"wall-clock read `{name}` outside repro.android."
+                        "clock; simulated components take a SimClock"
+                    ),
+                )
+            )
+
+
+# -- entry points --------------------------------------------------------------
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
+    """Lint one Python source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                rule="SYNTAX",
+                path=path,
+                line=exc.lineno or 0,
+                message=f"unparsable: {exc.msg}",
+            )
+        ]
+    violations: list[LintViolation] = []
+    _check_registry_locks(tree, path, violations)
+    _check_forbidden_calls(tree, path, violations)
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def lint_file(path: str | Path) -> list[LintViolation]:
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def lint_paths(paths: list[str | Path]) -> list[LintViolation]:
+    """Lint files and/or directory trees (``*.py``, sorted walk)."""
+    violations: list[LintViolation] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for file in sorted(entry.rglob("*.py")):
+                violations.extend(lint_file(file))
+        else:
+            violations.extend(lint_file(entry))
+    return violations

@@ -6,13 +6,38 @@ classes ... all calls to MediaDrm and MediaCrypto methods". The model
 keeps exactly that observable: packages expose a class list with method
 references, possibly including dead code — which is why the paper backs
 static findings with dynamic monitoring.
+
+Beyond the flat ``method_refs`` view (what a string-dump of the DEX
+surfaces), classes can carry **per-method bodies**: each
+:class:`ApkMethod` records its outgoing calls and the fields it reads
+and writes. That is the granularity a decompiler actually produces, and
+it is what lets :mod:`repro.analysis` build a call graph (so dead code
+is *measurable*, not just postulated) and run a source→sink taint pass
+over key material.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ApkClass", "Apk", "decompile"]
+__all__ = ["ApkMethod", "ApkClass", "Apk", "decompile"]
+
+
+@dataclass(frozen=True)
+class ApkMethod:
+    """One decompiled method body.
+
+    ``calls`` holds fully-qualified callee names — either other methods
+    of this APK (``com.app.Player.prepare``) or platform APIs
+    (``android.media.MediaDrm.openSession``). ``field_reads`` /
+    ``field_writes`` name the fully-qualified fields the body touches;
+    they are the inter-procedural dataflow edges the taint pass follows.
+    """
+
+    name: str  # unqualified, e.g. "onCreate"
+    calls: tuple[str, ...] = ()
+    field_reads: tuple[str, ...] = ()
+    field_writes: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -21,6 +46,24 @@ class ApkClass:
 
     name: str
     method_refs: tuple[str, ...] = ()
+    methods: tuple[ApkMethod, ...] = ()
+
+    def all_refs(self) -> tuple[str, ...]:
+        """Every outgoing reference: the flat ``method_refs`` view plus
+        each method body's calls, deduped in first-seen order."""
+        seen: dict[str, None] = {}
+        for ref in self.method_refs:
+            seen.setdefault(ref, None)
+        for method in self.methods:
+            for ref in method.calls:
+                seen.setdefault(ref, None)
+        return tuple(seen)
+
+    def method(self, name: str) -> ApkMethod | None:
+        for method in self.methods:
+            if method.name == name:
+                return method
+        return None
 
 
 @dataclass
@@ -34,9 +77,29 @@ class Apk:
     pinned_hosts: tuple[str, ...] = ()
     anti_debug: bool = False
     checks_safetynet: bool = False
+    # Fully-qualified methods the Android framework invokes directly
+    # (activity/service lifecycle). Call-graph reachability starts here.
+    entry_points: tuple[str, ...] = ()
 
-    def add_class(self, name: str, method_refs: tuple[str, ...] = ()) -> None:
-        self.classes.append(ApkClass(name=name, method_refs=method_refs))
+    def add_class(
+        self,
+        name: str,
+        method_refs: tuple[str, ...] = (),
+        methods: tuple[ApkMethod, ...] = (),
+    ) -> None:
+        self.classes.append(
+            ApkClass(name=name, method_refs=method_refs, methods=methods)
+        )
+
+    def add_entry_point(self, qualified_method: str) -> None:
+        if qualified_method not in self.entry_points:
+            self.entry_points = self.entry_points + (qualified_method,)
+
+    def find_class(self, name: str) -> ApkClass | None:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        return None
 
 
 def decompile(apk: Apk) -> list[ApkClass]:

@@ -3,6 +3,8 @@
     wideleak table1              regenerate Table I and diff vs the paper
     wideleak figure1             capture and print the Figure 1 sequence
     wideleak audit <app>         run the Q1–Q4 pipeline for one app
+    wideleak analyze <app>       call-graph + taint analysis, cross-checked
+    wideleak lint [paths...]     AST lint of the repo's own invariants
     wideleak attack <app>        run the §IV-D key-ladder attack
     wideleak attack-all          the full §IV-D sweep
     wideleak list-apps           show the evaluated services
@@ -57,6 +59,28 @@ def build_parser() -> argparse.ArgumentParser:
     audit = sub.add_parser("audit", help="run Q1–Q4 for one app")
     audit.add_argument("app", help='display name, e.g. "Netflix" or "Hulu"')
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="static call-graph/taint analysis for one app (or --all), "
+        "cross-checked against a monitored playback",
+    )
+    analyze.add_argument(
+        "app", nargs="?", help='display name, e.g. "Netflix"'
+    )
+    analyze.add_argument(
+        "--all", action="store_true", help="analyze every evaluated app"
+    )
+
+    lint = sub.add_parser(
+        "lint", help="check the repo's own concurrency/determinism invariants"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+
     attack = sub.add_parser("attack", help="run the key-ladder attack on one app")
     attack.add_argument("app", help='display name, e.g. "Showtime"')
 
@@ -68,6 +92,8 @@ def _cmd_table1(jobs: int = 1) -> int:
 
     result = ParallelStudyRunner(WideLeakStudy.with_default_apps(), jobs=jobs).run()
     print(result.table.render())
+    print("\nStatic-vs-dynamic cross-check (§IV-B):")
+    print(result.crosscheck_table().render())
     diffs = result.table.diff_against_paper()
     if diffs:
         print("\nDIVERGES from the published table:")
@@ -138,6 +164,70 @@ def _cmd_audit(app_name: str) -> int:
     return 0
 
 
+def _analyze_one(study: WideLeakStudy, profile) -> None:
+    from repro.analysis import CONFIRMED, analyze, cross_check
+    from repro.core.content_audit import ContentAuditor
+    from repro.ott.app import OttApp
+
+    app = OttApp(profile, study.l1_device, study.backends[profile.service])
+    report = analyze(app.apk)
+    print(f"== {profile.name} ==")
+    print(report.render())
+    audit = ContentAuditor(study.l1_device, study.network).audit(app)
+    check = cross_check(profile.package, report.call_sites, audit.observation)
+    print("cross-check vs monitored playback:")
+    for classified in check.sites:
+        flag = "+" if classified.verdict == CONFIRMED else "-"
+        print(
+            f"  [{flag}] {classified.site.caller} -> "
+            f"{classified.site.callee}: {classified.note}"
+        )
+    if check.dynamic_only:
+        print(
+            "  dynamic-only OEMCrypto activity (no static site): "
+            + ", ".join(check.dynamic_only)
+        )
+    counts = check.counts()
+    print(
+        f"  {counts['confirmed']} confirmed, {counts['dead_code']} dead-code, "
+        f"{counts['static_only'] - counts['dead_code']} unobserved, "
+        f"{counts['dynamic_only']} dynamic-only"
+    )
+
+
+def _cmd_analyze(app_name: str | None, all_apps: bool) -> int:
+    if not all_apps and app_name is None:
+        print("analyze: name an app or pass --all")
+        return 2
+    study = WideLeakStudy.with_default_apps()
+    if all_apps:
+        profiles = ALL_PROFILES
+    else:
+        try:
+            profiles = (profile_by_name(app_name),)
+        except KeyError as exc:
+            print(exc.args[0])
+            return 2
+    for index, profile in enumerate(profiles):
+        if index:
+            print()
+        _analyze_one(study, profile)
+    return 0
+
+
+def _cmd_lint(paths: list[str]) -> int:
+    from repro.analysis.lint import lint_paths
+
+    violations = lint_paths(paths)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} violation(s)")
+        return 1
+    print("clean: repo invariants hold")
+    return 0
+
+
 def _cmd_attack(app_name: str) -> int:
     try:
         profile = profile_by_name(app_name)
@@ -185,6 +275,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list_apps()
     if args.command == "audit":
         return _cmd_audit(args.app)
+    if args.command == "analyze":
+        return _cmd_analyze(args.app, args.all)
+    if args.command == "lint":
+        return _cmd_lint(args.paths)
     if args.command == "attack":
         return _cmd_attack(args.app)
     if args.command == "attack-all":

@@ -37,6 +37,8 @@ from repro.core.moviestealer import (
 )
 from repro.core.report import (
     EXPECTED_PAPER_TABLE,
+    CrossCheckRow,
+    CrossCheckTable,
     TableOne,
     TableOneRow,
     expected_row,
@@ -76,6 +78,8 @@ __all__ = [
     "DrmApiObservation",
     "bypass_app_protections",
     "EXPECTED_PAPER_TABLE",
+    "CrossCheckRow",
+    "CrossCheckTable",
     "TableOne",
     "TableOneRow",
     "expected_row",

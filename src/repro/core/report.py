@@ -13,7 +13,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["TableOneRow", "TableOne", "EXPECTED_PAPER_TABLE", "expected_row"]
+__all__ = [
+    "TableOneRow",
+    "TableOne",
+    "CrossCheckRow",
+    "CrossCheckTable",
+    "EXPECTED_PAPER_TABLE",
+    "expected_row",
+]
 
 FULL = "●"
 HALF = "◐"
@@ -115,6 +122,66 @@ class TableOne:
     @property
     def matches_paper(self) -> bool:
         return not self.diff_against_paper()
+
+
+@dataclass(frozen=True)
+class CrossCheckRow:
+    """Static-vs-dynamic reconciliation counts for one app (§IV-B).
+
+    ``confirmed`` static call sites had OEMCrypto evidence in the
+    monitored playback; ``dead_code`` ones have no call-graph path from
+    any entry point (the measured over-approximation); ``dynamic_only``
+    counts hooked activity no static site accounts for.
+    """
+
+    app: str
+    confirmed: int
+    dead_code: int
+    static_unobserved: int  # reachable, but no evidence this playback
+    dynamic_only: int
+
+
+_CROSSCHECK_HEADERS = (
+    "OTT",
+    "Confirmed",
+    "Static-only (dead code)",
+    "Static-only (unobserved)",
+    "Dynamic-only",
+)
+
+
+@dataclass
+class CrossCheckTable:
+    """Companion table to Table I: how the two §IV-B prongs reconcile."""
+
+    rows: list[CrossCheckRow] = field(default_factory=list)
+
+    def add(self, row: CrossCheckRow) -> None:
+        self.rows.append(row)
+
+    def render(self) -> str:
+        table = [_CROSSCHECK_HEADERS] + [
+            (
+                row.app,
+                str(row.confirmed),
+                str(row.dead_code),
+                str(row.static_unobserved),
+                str(row.dynamic_only),
+            )
+            for row in self.rows
+        ]
+        widths = [
+            max(len(line[col]) for line in table)
+            for col in range(len(_CROSSCHECK_HEADERS))
+        ]
+        lines = []
+        for index, line in enumerate(table):
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+            )
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        return "\n".join(lines)
 
 
 # The published Table I, cell for cell (ground truth for comparisons).

@@ -5,6 +5,11 @@ some of the included Android classes. More specifically, we scan all
 calls to MediaDrm and MediaCrypto methods that are required within a
 Widevine session." Static results over-approximate (dead code), which
 is why the pipeline pairs them with dynamic monitoring.
+
+This module is the *flat* scan: API presence and call-site inventory.
+The reachability- and dataflow-aware view (which of these call sites a
+framework entry point can actually reach, and where key material flows
+afterwards) lives in :mod:`repro.analysis`.
 """
 
 from __future__ import annotations
@@ -36,16 +41,32 @@ class StaticAnalysisReport:
 
 
 def analyze_apk(apk: Apk) -> StaticAnalysisReport:
-    """Scan the decompiled class list for Android DRM API call sites."""
+    """Scan the decompiled class list for Android DRM API call sites.
+
+    ExoPlayer detection covers both shipped ExoPlayer *classes* and
+    apps that merely *call into* ``com.google.android.exoplayer2.*``
+    (e.g. a thin wrapper around a prebuilt player AAR would show no
+    exoplayer2 class of its own). Call sites are reported once per
+    (class, callee) pair even when several methods — or the flat
+    ``method_refs`` view plus a method body — reference the same API.
+    """
     report = StaticAnalysisReport(package=apk.package)
+    seen: set[tuple[str, str]] = set()
     for cls in decompile(apk):
         if cls.name.startswith(_EXOPLAYER_PREFIX):
             report.uses_exoplayer = True
-        for ref in cls.method_refs:
+        for ref in cls.all_refs():
+            if ref.startswith(_EXOPLAYER_PREFIX):
+                report.uses_exoplayer = True
+            site = (cls.name, ref)
+            if site in seen:
+                continue
             if ref.startswith(_MEDIADRM_PREFIX):
                 report.uses_media_drm = True
-                report.drm_call_sites.append((cls.name, ref))
+                seen.add(site)
+                report.drm_call_sites.append(site)
             elif ref.startswith(_MEDIACRYPTO_PREFIX):
                 report.uses_media_crypto = True
-                report.drm_call_sites.append((cls.name, ref))
+                seen.add(site)
+                report.drm_call_sites.append(site)
     return report

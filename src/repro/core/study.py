@@ -20,6 +20,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.crosscheck import CrossCheckResult, cross_check
+from repro.analysis.engine import ApkAnalysisReport
+from repro.analysis.engine import analyze as analyze_dataflow
 from repro.android.device import AndroidDevice, nexus_5, pixel_6
 from repro.core.content_audit import ContentAuditor, ContentAuditResult
 from repro.core.key_usage import KeyUsageAnalyzer, KeyUsageReport
@@ -30,7 +33,16 @@ from repro.core.legacy_probe import (
     LegacyProbeResult,
 )
 from repro.core.media_recovery import MediaRecoveryPipeline, RecoveredMedia
-from repro.core.report import DAGGER, FAIL, FULL, HALF, TableOne, TableOneRow
+from repro.core.report import (
+    DAGGER,
+    FAIL,
+    FULL,
+    HALF,
+    CrossCheckRow,
+    CrossCheckTable,
+    TableOne,
+    TableOneRow,
+)
 from repro.core.static_analysis import StaticAnalysisReport, analyze_apk
 from repro.license_server.provisioning import KeyboxAuthority
 from repro.media.player import AssetStatus
@@ -52,6 +64,24 @@ class AppStudyResult:
     audit: ContentAuditResult
     key_usage: KeyUsageReport
     legacy: LegacyProbeResult
+    # Deep static analysis (repro.analysis): reachability-classified DRM
+    # call sites + taint findings, and the reconciliation of those call
+    # sites against the Q1 monitor's observations.
+    analysis: ApkAnalysisReport | None = None
+    crosscheck: CrossCheckResult | None = None
+
+    def crosscheck_row(self) -> CrossCheckRow:
+        check = self.crosscheck
+        if check is None:
+            return CrossCheckRow(self.profile.name, 0, 0, 0, 0)
+        counts = check.counts()
+        return CrossCheckRow(
+            app=self.profile.name,
+            confirmed=counts["confirmed"],
+            dead_code=counts["dead_code"],
+            static_unobserved=counts["static_only"] - counts["dead_code"],
+            dynamic_only=counts["dynamic_only"],
+        )
 
 
 @dataclass
@@ -70,10 +100,28 @@ class StudyResult:
     table: TableOne
     apps: dict[str, AppStudyResult] = field(default_factory=dict)
 
+    def crosscheck_table(self) -> CrossCheckTable:
+        """Static-vs-dynamic reconciliation, one row per app."""
+        table = CrossCheckTable()
+        for app in self.apps.values():
+            table.add(app.crosscheck_row())
+        return table
+
     def summary(self) -> dict[str, object]:
         """The paper's headline counts, computed from measurements."""
         audits = {name: app.audit for name, app in self.apps.items()}
         return {
+            "apps_with_reachable_key_leaks": sorted(
+                name
+                for name, app in self.apps.items()
+                if app.analysis is not None
+                and any(f.reachable for f in app.analysis.taint_findings)
+            ),
+            "apps_with_dead_drm_code": sorted(
+                name
+                for name, app in self.apps.items()
+                if app.analysis is not None and app.analysis.dead_sites
+            ),
             "apps_evaluated": len(self.apps),
             "apps_using_widevine": sum(
                 1 for a in audits.values() if a.observation.widevine_used
@@ -135,6 +183,21 @@ class StudyResult:
                     "secure_channel": app.audit.secure_channel_manifest_recovered,
                     "legacy_outcome": app.legacy.outcome.value,
                     "legacy_video_height": app.legacy.video_height,
+                    "analysis": (
+                        None
+                        if app.analysis is None
+                        else app.analysis.to_dict()
+                    ),
+                    "crosscheck": (
+                        None
+                        if app.crosscheck is None
+                        else {
+                            **app.crosscheck.counts(),
+                            "dynamic_only_functions": list(
+                                app.crosscheck.dynamic_only
+                            ),
+                        }
+                    ),
                 }
                 for name, app in self.apps.items()
             },
@@ -189,6 +252,7 @@ class WideLeakStudy:
 
         app_l1 = OttApp(profile, l1_device, backend)
         static = analyze_apk(app_l1.apk)
+        analysis = analyze_dataflow(app_l1.apk)
         audit = ContentAuditor(l1_device, self.network).audit(app_l1)
         key_usage = KeyUsageAnalyzer().analyze(app_l1, audit.mpd_bytes)
 
@@ -201,6 +265,10 @@ class WideLeakStudy:
             audit=audit,
             key_usage=key_usage,
             legacy=legacy,
+            analysis=analysis,
+            crosscheck=cross_check(
+                profile.package, analysis.call_sites, audit.observation
+            ),
         )
 
     # -- the full study -----------------------------------------------------------

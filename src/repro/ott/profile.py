@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.android.packages import Apk
+from repro.android.packages import Apk, ApkClass, ApkMethod
 from repro.license_server.policy import (
     AudioProtection,
     RevocationPolicy,
@@ -54,6 +54,13 @@ class OttProfile:
     # server trusts the client's claimed security level for HD gating.
     verifies_client_level: bool = True
     title_count: int = 1
+    # Per-service classes the decompiler additionally surfaces (offline
+    # caches, telemetry, diagnostics...) — where the taint findings live.
+    extra_classes: tuple[ApkClass, ...] = ()
+    # Calls appended to MainActivity.onCreate, wiring extra classes into
+    # the reachable part of the call graph. Anything not referenced here
+    # (or from another reachable method) is measurably dead code.
+    extra_launch_calls: tuple[str, ...] = ()
 
     def policy(self) -> ServicePolicy:
         return ServicePolicy(
@@ -94,53 +101,121 @@ class OttProfile:
     # -- APK model --------------------------------------------------------------
 
     def build_apk(self) -> Apk:
-        """The installable package as static analysis would see it."""
+        """The installable package as static analysis would see it.
+
+        Classes carry per-method bodies (calls, field reads/writes), so
+        the :mod:`repro.analysis` call graph can tell a reachable DRM
+        call site from shipped-but-dead code, and the taint pass can
+        follow key material into whatever the profile's extra classes
+        do with it.
+        """
+        pkg = self.package
         apk = Apk(
-            package=self.package,
+            package=pkg,
             version="1.0",
             uses_exoplayer=self.uses_exoplayer,
             pinned_hosts=self.all_hosts(),
             anti_debug=self.anti_debug,
             checks_safetynet=self.checks_safetynet,
+            entry_points=(f"{pkg}.MainActivity.onCreate",),
         )
-        apk.add_class(
-            f"{self.package}.MainActivity",
-            ("android.app.Activity.onCreate",),
-        )
+
+        launch_calls = ["android.app.Activity.onCreate"]
         if self.uses_exoplayer:
+            launch_calls.append(f"{pkg}.player.PlayerController.prepare")
             apk.add_class(
-                "com.google.android.exoplayer2.drm.DefaultDrmSessionManager",
-                (
-                    "android.media.MediaDrm.openSession",
-                    "android.media.MediaDrm.getKeyRequest",
-                    "android.media.MediaDrm.provideKeyResponse",
-                    "android.media.MediaCrypto.<init>",
+                f"{pkg}.player.PlayerController",
+                methods=(
+                    ApkMethod(
+                        "prepare",
+                        calls=(
+                            "com.google.android.exoplayer2.drm."
+                            "FrameworkMediaDrm.newInstance",
+                            "com.google.android.exoplayer2.drm."
+                            "DefaultDrmSessionManager.acquireSession",
+                        ),
+                    ),
                 ),
             )
             apk.add_class(
                 "com.google.android.exoplayer2.drm.FrameworkMediaDrm",
-                ("android.media.MediaDrm.<init>",),
+                methods=(
+                    ApkMethod(
+                        "newInstance", calls=("android.media.MediaDrm.<init>",)
+                    ),
+                ),
+            )
+            apk.add_class(
+                "com.google.android.exoplayer2.drm.DefaultDrmSessionManager",
+                methods=(
+                    ApkMethod(
+                        "acquireSession",
+                        calls=(
+                            "android.media.MediaDrm.openSession",
+                            "android.media.MediaDrm.getProvisionRequest",
+                            "android.media.MediaDrm.provideProvisionResponse",
+                            "android.media.MediaDrm.getKeyRequest",
+                            "android.media.MediaDrm.provideKeyResponse",
+                            "android.media.MediaDrm.closeSession",
+                            "android.media.MediaCrypto.<init>",
+                        ),
+                    ),
+                ),
             )
         else:
+            launch_calls.append(f"{pkg}.player.DrmEngine.start")
             apk.add_class(
-                f"{self.package}.player.DrmEngine",
-                (
-                    "android.media.MediaDrm.<init>",
-                    "android.media.MediaDrm.openSession",
-                    "android.media.MediaDrm.getKeyRequest",
-                    "android.media.MediaDrm.provideKeyResponse",
-                    "android.media.MediaCrypto.<init>",
+                f"{pkg}.player.DrmEngine",
+                methods=(
+                    ApkMethod(
+                        "start",
+                        calls=(
+                            "android.media.MediaDrm.<init>",
+                            "android.media.MediaDrm.openSession",
+                            "android.media.MediaDrm.getProvisionRequest",
+                            "android.media.MediaDrm.provideProvisionResponse",
+                            "android.media.MediaDrm.getKeyRequest",
+                            "android.media.MediaDrm.provideKeyResponse",
+                            "android.media.MediaDrm.closeSession",
+                            "android.media.MediaCrypto.<init>",
+                        ),
+                    ),
                 ),
             )
         if self.custom_drm_on_l3:
+            launch_calls.append(f"{pkg}.drm.PlaybackRouter.route")
             apk.add_class(
-                f"{self.package}.drm.EmbeddedCdm",
-                (f"{self.package}.drm.EmbeddedCdm.loadKeys",),
+                f"{pkg}.drm.PlaybackRouter",
+                methods=(
+                    ApkMethod(
+                        "route",
+                        calls=(f"{pkg}.drm.EmbeddedCdm.loadKeys",),
+                        field_writes=(f"{pkg}.drm.sessionKeyCache",),
+                    ),
+                ),
             )
+            apk.add_class(
+                f"{pkg}.drm.EmbeddedCdm",
+                methods=(ApkMethod("loadKeys"),),
+            )
+        launch_calls.extend(self.extra_launch_calls)
+        apk.add_class(
+            f"{pkg}.MainActivity",
+            methods=(ApkMethod("onCreate", calls=tuple(launch_calls)),),
+        )
         # A dash of dead code: the paper notes decompilation alone
         # over-approximates, which is why dynamic monitoring backs it.
+        # No reachable method ever calls the shim — the call graph
+        # proves it.
         apk.add_class(
-            f"{self.package}.legacy.OldPlayerShim",
-            ("android.media.MediaDrm.getPropertyString",),
+            f"{pkg}.legacy.OldPlayerShim",
+            methods=(
+                ApkMethod(
+                    "warmup",
+                    calls=("android.media.MediaDrm.getPropertyString",),
+                ),
+            ),
         )
+        for extra in self.extra_classes:
+            apk.classes.append(extra)
         return apk

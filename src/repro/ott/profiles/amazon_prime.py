@@ -7,16 +7,39 @@ which is why §IV-D's key-ladder attack recovers media from every app
 still serving discontinued devices *except* Amazon.
 """
 
+from repro.android.packages import ApkClass, ApkMethod
 from repro.license_server.policy import AudioProtection
 from repro.ott.profile import OttProfile
+
+_PKG = "com.amazon.avod.thirdpartyclient"
+
+# Decompiled app model: the embedded-DRM router (see build_apk) caches
+# session keys in a field; the disk cache mirrors that field into
+# app-external storage on the L3/discontinued-device path — the
+# CWE-922 flow on the one profile that *keeps serving* legacy phones
+# through its own DRM.
+_CLASSES = (
+    ApkClass(
+        f"{_PKG}.drm.DiskKeyCache",
+        methods=(
+            ApkMethod(
+                "write",
+                calls=("android.content.Context.openFileOutput",),
+                field_reads=(f"{_PKG}.drm.sessionKeyCache",),
+            ),
+        ),
+    ),
+)
 
 PROFILE = OttProfile(
     name="Amazon Prime Video",
     service="amazonprime",
-    package="com.amazon.avod.thirdpartyclient",
+    package=_PKG,
     installs_millions=100,
     audio_protection=AudioProtection.DISTINCT_KEY,
     enforces_revocation=False,
     uses_exoplayer=False,  # in-house player
     custom_drm_on_l3=True,
+    extra_classes=_CLASSES,
+    extra_launch_calls=(f"{_PKG}.drm.DiskKeyCache.write",),
 )

@@ -5,14 +5,36 @@ Minimum), subtitles clear; **provisioning fails** on the discontinued
 Nexus 5 (revocation enforced, the G# entry).
 """
 
+from repro.android.packages import ApkClass, ApkMethod
 from repro.license_server.policy import AudioProtection
 from repro.ott.profile import OttProfile
+
+_PKG = "com.disney.disneyplus"
+
+# Decompiled app model: playback telemetry polls key status and writes
+# the answer to logcat — the CWE-532 flow.
+_CLASSES = (
+    ApkClass(
+        f"{_PKG}.telemetry.DrmDiagnostics",
+        methods=(
+            ApkMethod(
+                "report",
+                calls=(
+                    "android.media.MediaDrm.queryKeyStatus",
+                    "android.util.Log.d",
+                ),
+            ),
+        ),
+    ),
+)
 
 PROFILE = OttProfile(
     name="Disney+",
     service="disneyplus",
-    package="com.disney.disneyplus",
+    package=_PKG,
     installs_millions=100,
     audio_protection=AudioProtection.SHARED_KEY,
     enforces_revocation=True,
+    extra_classes=_CLASSES,
+    extra_launch_calls=(f"{_PKG}.telemetry.DrmDiagnostics.report",),
 )

@@ -5,15 +5,39 @@ unconcluded (regional restriction); provisioning fails on the
 discontinued Nexus 5 (G#).
 """
 
+from repro.android.packages import ApkClass, ApkMethod
 from repro.license_server.policy import AudioProtection
 from repro.ott.profile import OttProfile
+
+_PKG = "com.hbo.hbonow"
+
+# Decompiled app model: a leftover debug dumper logs the raw license
+# payload — but nothing calls it. The flow is real in the bytecode and
+# dead at runtime: the analyzer must report it with reachable=False
+# (the paper's static over-approximation, in taint form).
+_CLASSES = (
+    ApkClass(
+        f"{_PKG}.debug.KeyDumper",
+        methods=(
+            ApkMethod(
+                "dump",
+                calls=(
+                    "android.media.MediaDrm.provideKeyResponse",
+                    "android.util.Log.d",
+                ),
+            ),
+        ),
+    ),
+)
 
 PROFILE = OttProfile(
     name="HBO Max",
     service="hbomax",
-    package="com.hbo.hbonow",
+    package=_PKG,
     installs_millions=10,
     audio_protection=AudioProtection.SHARED_KEY,
     enforces_revocation=True,
     key_metadata_available=False,
+    extra_classes=_CLASSES,
+    # deliberately NOT wired into extra_launch_calls: dead code
 )

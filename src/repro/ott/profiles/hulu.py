@@ -6,16 +6,49 @@ unfortunately not able to conclude our analyses due to some regional
 restrictions"); plays on discontinued phones.
 """
 
+from repro.android.packages import ApkClass, ApkMethod
 from repro.license_server.policy import AudioProtection
 from repro.ott.profile import OttProfile
+
+_PKG = "com.hulu.plus"
+
+# Decompiled app model: QoS telemetry snapshots the license exchange
+# into a field and ships it over cleartext HTTP — the CWE-319 flow.
+_CLASSES = (
+    ApkClass(
+        f"{_PKG}.metrics.TelemetryCollector",
+        methods=(
+            ApkMethod(
+                "collect",
+                calls=(
+                    "android.media.MediaDrm.getKeyRequest",
+                    f"{_PKG}.metrics.BeaconSender.send",
+                ),
+                field_writes=(f"{_PKG}.metrics.drmTelemetry",),
+            ),
+        ),
+    ),
+    ApkClass(
+        f"{_PKG}.metrics.BeaconSender",
+        methods=(
+            ApkMethod(
+                "send",
+                calls=("java.net.HttpURLConnection.connect",),
+                field_reads=(f"{_PKG}.metrics.drmTelemetry",),
+            ),
+        ),
+    ),
+)
 
 PROFILE = OttProfile(
     name="Hulu",
     service="hulu",
-    package="com.hulu.plus",
+    package=_PKG,
     installs_millions=50,
     audio_protection=AudioProtection.SHARED_KEY,
     enforces_revocation=False,
     subtitles_listed=False,
     key_metadata_available=False,
+    extra_classes=_CLASSES,
+    extra_launch_calls=(f"{_PKG}.metrics.TelemetryCollector.collect",),
 )

@@ -5,14 +5,36 @@ Salto), subtitles clear, Minimum key usage; plays on discontinued
 phones.
 """
 
+from repro.android.packages import ApkClass, ApkMethod
 from repro.license_server.policy import AudioProtection
 from repro.ott.profile import OttProfile
+
+_PKG = "com.canal.android.canal"
+
+# Decompiled app model: the download manager saves the raw license
+# next to the media via openFileOutput — the CWE-922 flow.
+_CLASSES = (
+    ApkClass(
+        f"{_PKG}.offline.DownloadManager",
+        methods=(
+            ApkMethod(
+                "saveLicense",
+                calls=(
+                    "android.media.MediaDrm.provideKeyResponse",
+                    "android.content.Context.openFileOutput",
+                ),
+            ),
+        ),
+    ),
+)
 
 PROFILE = OttProfile(
     name="myCanal",
     service="mycanal",
-    package="com.canal.android.canal",
+    package=_PKG,
     installs_millions=10,
     audio_protection=AudioProtection.CLEAR,
     enforces_revocation=False,
+    extra_classes=_CLASSES,
+    extra_launch_calls=(f"{_PKG}.offline.DownloadManager.saveLicense",),
 )

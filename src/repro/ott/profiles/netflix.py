@@ -8,16 +8,55 @@ responsible disclosure, believed that channel made audio encryption
 unnecessary.
 """
 
+from repro.android.packages import ApkClass, ApkMethod
 from repro.license_server.policy import AudioProtection
 from repro.ott.profile import URI_SECURE_CHANNEL, OttProfile
+
+_PKG = "com.netflix.mediaclient"
+
+# Decompiled app model: the offline-viewing stack caches the raw
+# license payload, then mirrors it onto external storage — the CWE-922
+# flow the taint pass must find. The secure-channel generic-crypto
+# calls are *absent* here (they live in the obfuscated native player),
+# which is exactly what makes them show up as dynamic-only in the
+# static/dynamic cross-check.
+_CLASSES = (
+    ApkClass(
+        f"{_PKG}.offline.OfflineLicenseManager",
+        methods=(
+            ApkMethod(
+                "persistLicense",
+                calls=(
+                    "android.media.MediaDrm.provideKeyResponse",
+                    f"{_PKG}.offline.ExternalLicenseCache.flush",
+                ),
+                field_writes=(f"{_PKG}.offline.cachedLicense",),
+            ),
+        ),
+    ),
+    ApkClass(
+        f"{_PKG}.offline.ExternalLicenseCache",
+        methods=(
+            ApkMethod(
+                "flush",
+                calls=("java.io.FileOutputStream.<init>",),
+                field_reads=(f"{_PKG}.offline.cachedLicense",),
+            ),
+        ),
+    ),
+)
 
 PROFILE = OttProfile(
     name="Netflix",
     service="netflix",
-    package="com.netflix.mediaclient",
+    package=_PKG,
     installs_millions=1000,
     audio_protection=AudioProtection.CLEAR,
     enforces_revocation=False,
     uri_protection=URI_SECURE_CHANNEL,
     uses_exoplayer=False,  # in-house player
+    extra_classes=_CLASSES,
+    extra_launch_calls=(
+        f"{_PKG}.offline.OfflineLicenseManager.persistLicense",
+    ),
 )

@@ -4,14 +4,36 @@ Table I row: video and audio encrypted (Minimum), subtitles clear;
 plays on discontinued phones.
 """
 
+from repro.android.packages import ApkClass, ApkMethod
 from repro.license_server.policy import AudioProtection
 from repro.ott.profile import OttProfile
+
+_PKG = "com.orange.ocsgo"
+
+# Decompiled app model: verbose support logging traces key status —
+# the CWE-532 flow.
+_CLASSES = (
+    ApkClass(
+        f"{_PKG}.support.DebugLogger",
+        methods=(
+            ApkMethod(
+                "trace",
+                calls=(
+                    "android.media.MediaDrm.queryKeyStatus",
+                    "android.util.Log.v",
+                ),
+            ),
+        ),
+    ),
+)
 
 PROFILE = OttProfile(
     name="OCS",
     service="ocs",
-    package="com.orange.ocsgo",
+    package=_PKG,
     installs_millions=1,
     audio_protection=AudioProtection.SHARED_KEY,
     enforces_revocation=False,
+    extra_classes=_CLASSES,
+    extra_launch_calls=(f"{_PKG}.support.DebugLogger.trace",),
 )

@@ -4,14 +4,36 @@ Table I row: video encrypted but audio **clear**, subtitles clear,
 Minimum key usage; plays on discontinued phones.
 """
 
+from repro.android.packages import ApkClass, ApkMethod
 from repro.license_server.policy import AudioProtection
 from repro.ott.profile import OttProfile
+
+_PKG = "fr.salto.app"
+
+# Decompiled app model: the keyset exporter writes license bytes
+# straight to a file stream — the CWE-922 flow.
+_CLASSES = (
+    ApkClass(
+        f"{_PKG}.cache.KeysetExporter",
+        methods=(
+            ApkMethod(
+                "export",
+                calls=(
+                    "android.media.MediaDrm.provideKeyResponse",
+                    "java.io.FileOutputStream.<init>",
+                ),
+            ),
+        ),
+    ),
+)
 
 PROFILE = OttProfile(
     name="Salto",
     service="salto",
-    package="fr.salto.app",
+    package=_PKG,
     installs_millions=1,
     audio_protection=AudioProtection.CLEAR,
     enforces_revocation=False,
+    extra_classes=_CLASSES,
+    extra_launch_calls=(f"{_PKG}.cache.KeysetExporter.export",),
 )

@@ -5,14 +5,48 @@ plays on discontinued phones — one of the six apps §IV-D recovers
 DRM-free content from.
 """
 
+from repro.android.packages import ApkClass, ApkMethod
 from repro.license_server.policy import AudioProtection
 from repro.ott.profile import OttProfile
+
+_PKG = "com.showtime.standalone"
+
+# Decompiled app model: license archiving stages the blob in a field,
+# then an SD-card writer drains it to external storage — the two-hop
+# (field-mediated) CWE-922 flow.
+_CLASSES = (
+    ApkClass(
+        f"{_PKG}.download.LicenseArchiver",
+        methods=(
+            ApkMethod(
+                "archive",
+                calls=(
+                    "android.media.MediaDrm.provideKeyResponse",
+                    f"{_PKG}.download.SdCardWriter.persist",
+                ),
+                field_writes=(f"{_PKG}.download.licenseBlob",),
+            ),
+        ),
+    ),
+    ApkClass(
+        f"{_PKG}.download.SdCardWriter",
+        methods=(
+            ApkMethod(
+                "persist",
+                calls=("android.os.Environment.getExternalStorageDirectory",),
+                field_reads=(f"{_PKG}.download.licenseBlob",),
+            ),
+        ),
+    ),
+)
 
 PROFILE = OttProfile(
     name="Showtime",
     service="showtime",
-    package="com.showtime.standalone",
+    package=_PKG,
     installs_millions=5,
     audio_protection=AudioProtection.SHARED_KEY,
     enforces_revocation=False,
+    extra_classes=_CLASSES,
+    extra_launch_calls=(f"{_PKG}.download.LicenseArchiver.archive",),
 )

@@ -5,15 +5,37 @@ URIs unobtainable ("-"); provisioning fails on the discontinued
 Nexus 5 (G#).
 """
 
+from repro.android.packages import ApkClass, ApkMethod
 from repro.license_server.policy import AudioProtection
 from repro.ott.profile import OttProfile
+
+_PKG = "com.bydeluxe.d3.android.program.starz"
+
+# Decompiled app model: session analytics log the license request —
+# the CWE-532 flow.
+_CLASSES = (
+    ApkClass(
+        f"{_PKG}.analytics.SessionLogger",
+        methods=(
+            ApkMethod(
+                "logLicense",
+                calls=(
+                    "android.media.MediaDrm.getKeyRequest",
+                    "android.util.Log.i",
+                ),
+            ),
+        ),
+    ),
+)
 
 PROFILE = OttProfile(
     name="Starz",
     service="starz",
-    package="com.bydeluxe.d3.android.program.starz",
+    package=_PKG,
     installs_millions=10,
     audio_protection=AudioProtection.SHARED_KEY,
     enforces_revocation=True,
     subtitles_listed=False,
+    extra_classes=_CLASSES,
+    extra_launch_calls=(f"{_PKG}.analytics.SessionLogger.logLicense",),
 )

@@ -32,9 +32,10 @@ ALL_PROFILES: tuple[OttProfile, ...] = (
 
 
 def profile_by_name(name: str) -> OttProfile:
-    """Look a profile up by display name (case-insensitive)."""
+    """Look a profile up by display name or service slug
+    (case-insensitive)."""
     for profile in ALL_PROFILES:
-        if profile.name.lower() == name.lower():
+        if name.lower() in (profile.name.lower(), profile.service.lower()):
             return profile
     raise KeyError(f"no OTT profile named {name!r}")
 

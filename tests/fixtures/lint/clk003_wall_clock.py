@@ -1,0 +1,7 @@
+"""Seeded CLK003 violation: wall-clock read outside repro.android.clock."""
+
+import time
+
+
+def issue_timestamp():
+    return int(time.time())

@@ -1,0 +1,12 @@
+"""Seeded LRU004 violation: hand-rolled LRU cache with no lock."""
+
+from collections import OrderedDict
+
+
+class SegmentCache:
+    def __init__(self, capacity=8):
+        self.capacity = capacity
+        self._entries = OrderedDict()
+
+    def get(self, key):
+        return self._entries.get(key)

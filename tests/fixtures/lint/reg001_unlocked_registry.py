@@ -1,0 +1,15 @@
+"""Seeded REG001 violation: registry mutated outside its lock."""
+
+import threading
+
+_REGISTRY: dict = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register(name, value):
+    _REGISTRY[name] = value  # mutation without holding _REGISTRY_LOCK
+
+
+def register_properly(name, value):
+    with _REGISTRY_LOCK:
+        _REGISTRY[name] = value  # this one is fine

@@ -1,0 +1,16 @@
+"""Seeded RNG002 violations: process-level randomness."""
+
+import os
+import random
+
+
+def weak_token():
+    return os.urandom(16)
+
+
+def weak_jitter():
+    return random.random()
+
+
+def unseeded_stream():
+    return random.Random()

@@ -1,0 +1,130 @@
+"""Call-graph reachability over the decompiled APK model."""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import CallGraph, DrmCallSite
+from repro.android.packages import Apk, ApkMethod
+from repro.ott.registry import ALL_PROFILES, profile_by_name
+
+
+def fixture_apk() -> Apk:
+    """Small app: entry -> Player -> MediaDrm, plus a dead shim."""
+    apk = Apk(
+        package="com.example.app",
+        version="1.0",
+        entry_points=("com.example.app.Main.onCreate",),
+    )
+    apk.add_class(
+        "com.example.app.Main",
+        methods=(ApkMethod("onCreate", calls=("com.example.app.Player.play",)),),
+    )
+    apk.add_class(
+        "com.example.app.Player",
+        methods=(
+            ApkMethod(
+                "play",
+                calls=(
+                    "android.media.MediaDrm.openSession",
+                    "android.media.MediaDrm.provideKeyResponse",
+                ),
+            ),
+        ),
+    )
+    # Shipped, never called: the over-approximation the paper measures.
+    apk.add_class(
+        "com.example.app.legacy.Shim",
+        methods=(
+            ApkMethod(
+                "warmup", calls=("android.media.MediaDrm.getPropertyString",)
+            ),
+        ),
+    )
+    return apk
+
+
+class TestReachability:
+    def test_bfs_from_entry_points(self):
+        graph = CallGraph.from_apk(fixture_apk())
+        reachable = graph.reachable_methods()
+        assert "com.example.app.Main.onCreate" in reachable
+        assert "com.example.app.Player.play" in reachable
+        assert "com.example.app.legacy.Shim.warmup" not in reachable
+
+    def test_dead_methods(self):
+        graph = CallGraph.from_apk(fixture_apk())
+        assert graph.dead_methods() == ("com.example.app.legacy.Shim.warmup",)
+
+    def test_no_entry_points_means_everything_dead(self):
+        apk = fixture_apk()
+        apk.entry_points = ()
+        graph = CallGraph.from_apk(apk)
+        assert graph.reachable_methods() == frozenset()
+
+
+class TestDrmCallSites:
+    def test_sites_classified_live_vs_dead(self):
+        apk = fixture_apk()
+        graph = CallGraph.from_apk(apk)
+        sites = graph.drm_call_sites(apk)
+        by_callee = {site.callee: site for site in sites}
+        assert by_callee["android.media.MediaDrm.openSession"].reachable
+        assert by_callee["android.media.MediaDrm.provideKeyResponse"].reachable
+        assert not by_callee["android.media.MediaDrm.getPropertyString"].reachable
+
+    def test_flat_method_refs_are_conservatively_dead(self):
+        apk = fixture_apk()
+        # A class a real decompiler only string-dumped (no bodies).
+        apk.add_class(
+            "com.example.app.Obfuscated",
+            method_refs=("android.media.MediaCrypto.<init>",),
+        )
+        graph = CallGraph.from_apk(apk)
+        sites = graph.drm_call_sites(apk)
+        flat = [s for s in sites if s.caller_class == "com.example.app.Obfuscated"]
+        assert len(flat) == 1
+        assert not flat[0].reachable
+        assert flat[0].caller == "com.example.app.Obfuscated"
+
+    def test_duplicate_refs_deduped(self):
+        apk = fixture_apk()
+        # Same callee in both the body and the flat view: one site.
+        apk.classes[1] = apk.classes[1].__class__(
+            name=apk.classes[1].name,
+            method_refs=("android.media.MediaDrm.openSession",),
+            methods=apk.classes[1].methods,
+        )
+        graph = CallGraph.from_apk(apk)
+        sites = graph.drm_call_sites(apk)
+        open_sites = [
+            s for s in sites if s.callee == "android.media.MediaDrm.openSession"
+        ]
+        assert len(open_sites) == 1
+        assert open_sites[0].caller_method == "play"
+
+    def test_caller_property(self):
+        site = DrmCallSite("com.a.B", "run", "android.media.MediaDrm.x", True)
+        assert site.caller == "com.a.B.run"
+
+
+class TestProfileApks:
+    def test_every_profile_ships_dead_drm_code(self):
+        """Each OTT model carries a measurably dead DRM call site."""
+        for profile in ALL_PROFILES:
+            apk = profile.build_apk()
+            graph = CallGraph.from_apk(apk)
+            dead = [s for s in graph.drm_call_sites(apk) if not s.reachable]
+            assert dead, profile.name
+            assert any(
+                "OldPlayerShim" in site.caller_class for site in dead
+            ), profile.name
+
+    def test_netflix_live_sites_cover_the_session_lifecycle(self):
+        apk = profile_by_name("Netflix").build_apk()
+        graph = CallGraph.from_apk(apk)
+        live = {
+            s.callee for s in graph.drm_call_sites(apk) if s.reachable
+        }
+        assert "android.media.MediaDrm.openSession" in live
+        assert "android.media.MediaDrm.closeSession" in live
+        assert "android.media.MediaDrm.provideKeyResponse" in live
+        assert "android.media.MediaCrypto.<init>" in live

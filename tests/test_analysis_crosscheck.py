@@ -1,0 +1,105 @@
+"""Static-vs-dynamic reconciliation (§IV-B, the two prongs held together)."""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import DrmCallSite
+from repro.analysis.crosscheck import (
+    CONFIRMED,
+    STATIC_ONLY,
+    OECC_EVIDENCE,
+    cross_check,
+)
+from repro.core.monitor import DrmApiObservation
+
+
+def _observation(*functions: str) -> DrmApiObservation:
+    return DrmApiObservation(
+        widevine_used=True,
+        security_level="L1",
+        oecc_call_count=len(functions),
+        functions_seen=tuple(sorted(functions)),
+    )
+
+
+def _site(callee: str, reachable: bool = True) -> DrmCallSite:
+    return DrmCallSite("com.x.Player", "play", callee, reachable)
+
+
+class TestClassification:
+    def test_reachable_site_with_evidence_is_confirmed(self):
+        result = cross_check(
+            "com.x",
+            [_site("android.media.MediaDrm.openSession")],
+            _observation("_oecc05_open_session"),
+        )
+        assert [s.verdict for s in result.sites] == [CONFIRMED]
+        assert result.counts() == {
+            "confirmed": 1,
+            "static_only": 0,
+            "dead_code": 0,
+            "dynamic_only": 0,
+        }
+
+    def test_dead_site_is_static_only_dead_code(self):
+        result = cross_check(
+            "com.x",
+            [_site("android.media.MediaDrm.getPropertyString", reachable=False)],
+            _observation("_oecc05_open_session"),
+        )
+        classified = result.sites[0]
+        assert classified.verdict == STATIC_ONLY
+        assert "dead code" in classified.note
+        assert result.dead_code == 1
+        # _oecc05 has no attributable site: it surfaces as dynamic-only.
+        assert result.dynamic_only == ("_oecc05_open_session",)
+
+    def test_reachable_but_unobserved_site_is_static_only(self):
+        result = cross_check(
+            "com.x",
+            [_site("android.media.MediaDrm.queryKeyStatus")],
+            _observation("_oecc05_open_session"),
+        )
+        classified = result.sites[0]
+        assert classified.verdict == STATIC_ONLY
+        assert "no OEMCrypto evidence" in classified.note
+        assert result.static_only == 1
+        assert result.dead_code == 0
+
+    def test_dynamic_only_excludes_ambient_functions(self):
+        result = cross_check(
+            "com.x", [], _observation("_oecc01_initialize", "_oecc02_terminate")
+        )
+        assert result.dynamic_only == ()
+
+    def test_dead_site_still_attributes_its_evidence(self):
+        """A dead getPropertyString site keeps _oecc13 out of dynamic-only:
+        the static prong *does* know code exists for it."""
+        result = cross_check(
+            "com.x",
+            [_site("android.media.MediaDrm.getPropertyString", reachable=False)],
+            _observation("_oecc13_get_device_id"),
+        )
+        assert result.dynamic_only == ()
+        assert result.sites[0].verdict == STATIC_ONLY
+
+    def test_secure_channel_shows_as_dynamic_only(self):
+        """Netflix's worked example: generic crypto activity with no
+        static CryptoSession site behind it."""
+        result = cross_check(
+            "com.x",
+            [_site("android.media.MediaDrm.openSession")],
+            _observation("_oecc05_open_session", "_oecc31_generic_decrypt"),
+        )
+        assert result.dynamic_only == ("_oecc31_generic_decrypt",)
+
+
+class TestEvidenceMap:
+    def test_every_evidence_function_is_an_oecc_export(self):
+        for functions in OECC_EVIDENCE.values():
+            for fn in functions:
+                assert fn.startswith("_oecc"), fn
+
+    def test_session_lifecycle_is_mapped(self):
+        assert "android.media.MediaDrm.openSession" in OECC_EVIDENCE
+        assert "android.media.MediaDrm.closeSession" in OECC_EVIDENCE
+        assert "android.media.MediaDrm.provideKeyResponse" in OECC_EVIDENCE

@@ -1,0 +1,130 @@
+"""The repo invariant linter: clean on the shipped tree, loud on the
+seeded-violation fixtures."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import RULE_IDS, lint_file, lint_paths, lint_source
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = REPO / "tests" / "fixtures" / "lint"
+
+_FIXTURE_BY_RULE = {
+    "REG001": FIXTURES / "reg001_unlocked_registry.py",
+    "RNG002": FIXTURES / "rng002_process_rng.py",
+    "CLK003": FIXTURES / "clk003_wall_clock.py",
+    "LRU004": FIXTURES / "lru004_unlocked_cache.py",
+}
+
+
+class TestShippedTreeIsClean:
+    def test_src_repro_has_zero_violations(self):
+        violations = lint_paths([REPO / "src" / "repro"])
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+
+class TestSeededFixtures:
+    @pytest.mark.parametrize("rule", RULE_IDS)
+    def test_each_rule_fires_on_its_fixture(self, rule):
+        violations = lint_file(_FIXTURE_BY_RULE[rule])
+        assert violations, f"{rule} fixture produced no violations"
+        assert {v.rule for v in violations} == {rule}
+
+    def test_reg001_points_at_the_unlocked_mutation(self):
+        violations = lint_file(_FIXTURE_BY_RULE["REG001"])
+        assert len(violations) == 1  # the locked mutation is not flagged
+        assert "_REGISTRY" in violations[0].message
+
+    def test_rng002_catches_each_forbidden_form(self):
+        violations = lint_file(_FIXTURE_BY_RULE["RNG002"])
+        messages = " ".join(v.message for v in violations)
+        assert "os.urandom" in messages
+        assert "random.random" in messages
+        assert "unseeded random.Random()" in messages
+
+
+class TestRuleSemantics:
+    def test_mutation_under_lock_is_clean(self):
+        source = (
+            "import threading\n"
+            "_R = {}\n"
+            "_R_LOCK = threading.Lock()\n"
+            "def put(k, v):\n"
+            "    with _R_LOCK:\n"
+            "        _R[k] = v\n"
+        )
+        assert lint_source(source) == []
+
+    def test_registry_without_lock_is_not_reg001(self):
+        """REG001 only governs scopes that declared a lock; a plain
+        module-level dict is just a dict."""
+        source = "_R = {}\ndef put(k, v):\n    _R[k] = v\n"
+        assert [v.rule for v in lint_source(source)] == []
+
+    def test_init_is_exempt(self):
+        source = (
+            "import threading\n"
+            "from collections import OrderedDict\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._cache = OrderedDict()\n"
+            "        self._cache['warm'] = 1\n"
+        )
+        assert lint_source(source) == []
+
+    def test_seeded_random_is_allowed(self):
+        assert lint_source("import random\nr = random.Random(42)\n") == []
+
+    def test_clock_module_itself_may_read_wall_clock(self):
+        source = "import time\ndef now():\n    return time.time()\n"
+        path = "src/repro/android/clock.py"
+        assert lint_source(source, path=path) == []
+        assert [v.rule for v in lint_source(source, path="src/repro/x.py")] == [
+            "CLK003"
+        ]
+
+    def test_syntax_error_is_reported_not_raised(self):
+        violations = lint_source("def broken(:\n")
+        assert [v.rule for v in violations] == ["SYNTAX"]
+
+    def test_violations_sorted_by_line(self):
+        source = (
+            "import time, os\n"
+            "def a():\n"
+            "    return os.urandom(4)\n"
+            "def b():\n"
+            "    return time.time()\n"
+        )
+        violations = lint_source(source)
+        assert [v.rule for v in violations] == ["RNG002", "CLK003"]
+        assert violations[0].line < violations[1].line
+
+
+class TestCliTool:
+    def _run(self, *args: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, str(REPO / "tools" / "lint_repro.py"), *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+
+    def test_exit_zero_on_shipped_tree(self):
+        result = self._run("src/repro")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    @pytest.mark.parametrize("rule", RULE_IDS)
+    def test_exit_nonzero_on_each_fixture(self, rule):
+        result = self._run(str(_FIXTURE_BY_RULE[rule]))
+        assert result.returncode == 1
+        assert rule in result.stdout
+
+    def test_exit_two_on_missing_path(self):
+        result = self._run("does/not/exist")
+        assert result.returncode == 2

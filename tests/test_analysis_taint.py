@@ -1,0 +1,222 @@
+"""Taint pass: key material flowing into insecure sinks."""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.engine import analyze
+from repro.analysis.taint import (
+    TaintAnalyzer,
+    TaintSink,
+    TaintSource,
+    default_ruleset,
+    registered_sinks,
+    registered_sources,
+)
+from repro.android.packages import Apk, ApkMethod
+from repro.ott.registry import profile_by_name
+
+
+def _apk(entry: str = "com.x.Main.onCreate") -> Apk:
+    return Apk(package="com.x", version="1.0", entry_points=(entry,))
+
+
+class TestRegistry:
+    def test_default_ruleset_covers_the_key_ladder(self):
+        sources, sinks = default_ruleset()
+        assert {s.id for s in sources} >= {
+            "keybox-bytes",
+            "device-rsa-key",
+            "content-keys",
+            "license-payload",
+        }
+        assert {(s.id, s.cwe) for s in sinks} >= {
+            ("world-readable-storage", "CWE-922"),
+            ("logcat", "CWE-532"),
+            ("plaintext-http", "CWE-319"),
+        }
+
+    def test_registered_views_expose_defaults(self):
+        default_ruleset()
+        assert any(s.id == "keybox-bytes" for s in registered_sources())
+        assert any(s.cwe == "CWE-922" for s in registered_sinks())
+
+    def test_wildcard_pattern_matches_any_class_prefix(self):
+        source = TaintSource("x", "", call_patterns=("*.KeyboxReader.read",))
+        assert source.matches("com.vendor.drm.KeyboxReader.read")
+        assert not source.matches("com.vendor.drm.Other.read")
+
+
+class TestFlows:
+    def test_keybox_to_world_readable_storage_is_cwe_922(self):
+        apk = _apk()
+        apk.add_class(
+            "com.x.Main",
+            methods=(ApkMethod("onCreate", calls=("com.x.drm.Dumper.dump",)),),
+        )
+        apk.add_class(
+            "com.x.drm.Dumper",
+            methods=(
+                ApkMethod(
+                    "dump",
+                    calls=(
+                        "com.x.drm.KeyboxReader.read",
+                        "java.io.FileOutputStream.<init>",
+                    ),
+                ),
+            ),
+        )
+        findings = TaintAnalyzer().run(apk)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.source == "keybox-bytes"
+        assert finding.sink == "world-readable-storage"
+        assert finding.cwe == "CWE-922"
+        assert finding.severity == "critical"
+        assert finding.reachable
+        assert "CWE-922" in finding.describe()
+
+    def test_flow_through_field_write_then_read(self):
+        apk = _apk()
+        apk.add_class(
+            "com.x.Main",
+            methods=(
+                ApkMethod(
+                    "onCreate",
+                    calls=("com.x.A.fetch", "com.x.B.flush"),
+                ),
+            ),
+        )
+        apk.add_class(
+            "com.x.A",
+            methods=(
+                ApkMethod(
+                    "fetch",
+                    calls=("android.media.MediaDrm.provideKeyResponse",),
+                    field_writes=("com.x.licenseBlob",),
+                ),
+            ),
+        )
+        apk.add_class(
+            "com.x.B",
+            methods=(
+                ApkMethod(
+                    "flush",
+                    calls=("android.content.Context.openFileOutput",),
+                    field_reads=("com.x.licenseBlob",),
+                ),
+            ),
+        )
+        findings = TaintAnalyzer().run(apk)
+        assert [f.cwe for f in findings] == ["CWE-922"]
+        assert "[field com.x.licenseBlob]" in findings[0].path
+        assert findings[0].reachable
+
+    def test_dead_code_flow_is_reported_but_flagged(self):
+        apk = _apk()
+        apk.add_class("com.x.Main", methods=(ApkMethod("onCreate"),))
+        # No path from the entry point reaches the dumper.
+        apk.add_class(
+            "com.x.Dumper",
+            methods=(
+                ApkMethod(
+                    "dump",
+                    calls=(
+                        "android.media.MediaDrm.getKeyRequest",
+                        "android.util.Log.d",
+                    ),
+                ),
+            ),
+        )
+        findings = TaintAnalyzer().run(apk)
+        assert len(findings) == 1
+        assert findings[0].cwe == "CWE-532"
+        assert not findings[0].reachable
+        assert "DEAD CODE" in findings[0].describe()
+
+    def test_no_flow_no_finding(self):
+        """Source and sink in unconnected methods: nothing reported."""
+        apk = _apk()
+        apk.add_class(
+            "com.x.Main",
+            methods=(
+                ApkMethod("onCreate", calls=("com.x.A.fetch", "com.x.B.save")),
+            ),
+        )
+        apk.add_class(
+            "com.x.A",
+            methods=(
+                ApkMethod(
+                    "fetch", calls=("android.media.MediaDrm.getKeyRequest",)
+                ),
+            ),
+        )
+        # B writes a file but never receives anything tainted.
+        apk.add_class(
+            "com.x.B",
+            methods=(
+                ApkMethod("save", calls=("java.io.FileOutputStream.<init>",)),
+            ),
+        )
+        assert TaintAnalyzer().run(apk) == []
+
+    def test_custom_ruleset_overrides_defaults(self):
+        apk = _apk()
+        apk.add_class(
+            "com.x.Main",
+            methods=(
+                ApkMethod(
+                    "onCreate",
+                    calls=("com.x.Secrets.load", "com.x.Beacon.send"),
+                ),
+            ),
+        )
+        analyzer = TaintAnalyzer(
+            sources=(
+                TaintSource("custom-src", "", call_patterns=("com.x.Secrets.",)),
+            ),
+            sinks=(
+                TaintSink(
+                    "custom-sink",
+                    "",
+                    cwe="CWE-200",
+                    severity="medium",
+                    call_patterns=("com.x.Beacon.",),
+                ),
+            ),
+        )
+        findings = analyzer.run(apk)
+        assert [(f.source, f.sink, f.cwe) for f in findings] == [
+            ("custom-src", "custom-sink", "CWE-200")
+        ]
+
+
+class TestProfileFindings:
+    def test_netflix_offline_cache_is_a_reachable_cwe_922(self):
+        report = analyze(profile_by_name("Netflix").build_apk())
+        findings = report.findings_by_cwe("CWE-922")
+        assert findings and all(f.reachable for f in findings)
+
+    def test_hbo_max_key_dumper_is_dead_code(self):
+        report = analyze(profile_by_name("HBO Max").build_apk())
+        assert report.taint_findings
+        assert all(not f.reachable for f in report.taint_findings)
+
+    def test_hulu_telemetry_leaks_over_plaintext_http(self):
+        report = analyze(profile_by_name("Hulu").build_apk())
+        assert [f.cwe for f in report.taint_findings] == ["CWE-319"]
+
+    def test_amazon_custom_drm_keys_reach_disk(self):
+        report = analyze(profile_by_name("Amazon Prime Video").build_apk())
+        cwes = {f.cwe for f in report.taint_findings}
+        assert "CWE-922" in cwes
+        sources = {f.source for f in report.findings_by_cwe("CWE-922")}
+        assert "content-keys" in sources
+
+
+class TestDeterminism:
+    def test_findings_are_stable_across_runs(self):
+        apk = profile_by_name("Showtime").build_apk()
+        graph = CallGraph.from_apk(apk)
+        first = TaintAnalyzer().run(apk, graph)
+        second = TaintAnalyzer().run(apk, graph)
+        assert first == second

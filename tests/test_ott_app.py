@@ -230,7 +230,7 @@ class TestApkModel:
         apk = world.profile.build_apk()
         names = {c.name for c in apk.classes}
         assert not any("exoplayer2" in n for n in names)
-        refs = {r for c in apk.classes for r in c.method_refs}
+        refs = {r for c in apk.classes for r in c.all_refs()}
         assert any(r.startswith("android.media.MediaDrm") for r in refs)
 
     def test_pins_cover_all_hosts(self):

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Run the repo invariant linter (repro.analysis.lint) over a tree.
+
+    python tools/lint_repro.py [PATH ...]
+
+Defaults to ``src/repro`` relative to the repository root. Exits 0 when
+clean, 1 when any violation is found (this is what the CI lint job
+gates on), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.analysis.lint import lint_paths  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    paths = [Path(p) for p in argv] or [_REPO_ROOT / "src" / "repro"]
+    for path in paths:
+        if not path.exists():
+            print(f"lint_repro: no such path: {path}", file=sys.stderr)
+            return 2
+    violations = lint_paths(list(paths))
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} violation(s)")
+        return 1
+    print("lint_repro: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
