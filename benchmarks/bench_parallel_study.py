@@ -26,6 +26,7 @@ at roughly neutral cost.
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 from pathlib import Path
@@ -33,6 +34,7 @@ from pathlib import Path
 from repro.core.parallel import ParallelStudyRunner
 from repro.core.study import WideLeakStudy
 from repro.crypto.aes import cipher_for
+from repro.obs.bus import ObservabilityBus
 from repro.crypto.cmac import _subkeys_for
 from repro.crypto.kdf import derive_key
 from repro.crypto.modes import _keystream_blocks
@@ -60,6 +62,39 @@ def _timed_study(jobs: int = 1) -> tuple[float, str]:
     return elapsed, result.to_json()
 
 
+def _timed_study_bus(enabled: bool) -> float:
+    """Full sequential study on an explicitly enabled/disabled bus."""
+    gc.collect()  # prior runs' span graphs must not tax this one
+    start = time.perf_counter()
+    study = WideLeakStudy.with_default_apps(
+        obs=ObservabilityBus(enabled=enabled)
+    )
+    result = study.run()
+    elapsed = time.perf_counter() - start
+    assert result.table.matches_paper
+    return elapsed
+
+
+def _obs_overhead() -> dict[str, float]:
+    """Traced vs. untraced wall time, min-of-3 each, warm caches.
+
+    Minimum (not mean) of interleaved runs: both modes see the same
+    cache/GC state, and the minimum is the least noise-contaminated
+    estimate of each mode's true cost.
+    """
+    untraced_runs: list[float] = []
+    traced_runs: list[float] = []
+    for _ in range(3):
+        untraced_runs.append(_timed_study_bus(False))
+        traced_runs.append(_timed_study_bus(True))
+    untraced, traced = min(untraced_runs), min(traced_runs)
+    return {
+        "untraced_seconds": round(untraced, 3),
+        "traced_seconds": round(traced, 3),
+        "overhead_pct": round((traced / untraced - 1.0) * 100.0, 2),
+    }
+
+
 def _timed_attacks(jobs: int = 1) -> float:
     start = time.perf_counter()
     runner = ParallelStudyRunner(WideLeakStudy.with_default_apps(), jobs=jobs)
@@ -84,9 +119,11 @@ def test_bench_study_trajectory(capsys):
     parallel_s, parallel_json = _timed_study(jobs=4)
     attacks_seq_s = _timed_attacks(jobs=1)
     attacks_par_s = _timed_attacks(jobs=4)
+    observability = _obs_overhead()
 
     assert warm_json == cold_json
     assert parallel_json == cold_json
+    assert observability["overhead_pct"] < 10.0, observability
 
     payload = {
         "artifact": "WideLeak full-study wall time (construction + Q1-Q4)",
@@ -111,6 +148,15 @@ def test_bench_study_trajectory(capsys):
             "sequential_seconds": round(attacks_seq_s, 3),
             "parallel_jobs4_seconds": round(attacks_par_s, 3),
         },
+        "observability": {
+            **observability,
+            "budget_pct": 10.0,
+            "note": (
+                "full sequential study on an enabled vs. disabled "
+                "ObservabilityBus, warm caches, min of 3 interleaved "
+                "runs each"
+            ),
+        },
         "packager_segment_cache": {
             "cold": cold_cache,
             "after_warm_run": warm_cache,
@@ -134,6 +180,19 @@ def test_bench_study_trajectory(capsys):
             f" {attacks_par_s:.3f}s"
         )
         print(f"warm-over-cold speedup: {payload['speedup_warm_over_cold']}x")
+        print(
+            f"observability overhead: {observability['overhead_pct']}% "
+            f"(traced {observability['traced_seconds']}s / "
+            f"untraced {observability['untraced_seconds']}s)"
+        )
+
+
+def test_bench_obs_overhead_smoke():
+    """CI smoke: the observability bus must cost < 10% of an untraced
+    run. Standalone so the CI bench-smoke job can run just this."""
+    _timed_study_bus(True)  # warm the substrate caches first
+    observability = _obs_overhead()
+    assert observability["overhead_pct"] < 10.0, observability
 
 
 def test_bench_sequential_study_warm(benchmark):

@@ -22,7 +22,16 @@ from repro.analysis.crosscheck import (
     cross_check,
 )
 from repro.analysis.engine import ApkAnalysisReport, analyze
-from repro.analysis.lint import LintViolation, lint_paths, lint_source
+from repro.analysis.lint import (
+    LintReport,
+    LintSuppression,
+    LintViolation,
+    SuppressedViolation,
+    lint_paths,
+    lint_paths_report,
+    lint_source,
+    lint_source_report,
+)
 from repro.analysis.taint import (
     TaintFinding,
     TaintSink,
@@ -48,7 +57,12 @@ __all__ = [
     "default_ruleset",
     "registered_sources",
     "registered_sinks",
+    "LintReport",
+    "LintSuppression",
     "LintViolation",
+    "SuppressedViolation",
     "lint_paths",
+    "lint_paths_report",
     "lint_source",
+    "lint_source_report",
 ]

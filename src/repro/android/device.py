@@ -19,6 +19,7 @@ from repro.android.trace import FlowTrace
 from repro.license_server.provisioning import KeyboxAuthority
 from repro.net.network import HttpClient, Network
 from repro.net.tls import PinSet, TrustStore
+from repro.obs.bus import ObservabilityBus
 from repro.widevine.keybox import issue_keybox
 from repro.widevine.plugin import WidevineHalPlugin
 from repro.widevine.versions import CDM_CURRENT, CDM_NEXUS5
@@ -54,13 +55,20 @@ class AndroidDevice:
         serial: str,
         network: Network,
         authority: KeyboxAuthority,
+        obs: ObservabilityBus | None = None,
     ):
         self.spec = spec
         self.serial = serial
         self.network = network
         self.rooted = False
         self.clock = SimClock()
+        # The device's observation spine: every playback-path component
+        # emits spans/arrows through it. Callers that orchestrate many
+        # devices (the study, a parallel worker session) inject a shared
+        # bus so all observations land in one tree.
+        self.obs = obs if obs is not None else ObservabilityBus()
         self.trace = FlowTrace()
+        self.obs.add_flow_consumer(self.trace.record)
         self.trust_store = TrustStore()
         self.persistent_store: dict[str, bytes] = {}
         self.processes: list[Process] = []
@@ -87,6 +95,7 @@ class AndroidDevice:
             persistent_store=self.persistent_store,
             serial=serial,
             clock=self.clock,
+            obs=self.obs,
         )
         self.drm_server = MediaDrmServer(self.drm_process)
         self.drm_server.register_plugin(self.widevine_plugin)
@@ -118,7 +127,10 @@ class AndroidDevice:
     def new_http_client(self, pin_set: PinSet | None = None) -> HttpClient:
         """An HTTP stack bound to this device's trust store."""
         return HttpClient(
-            self.network, trust_store=self.trust_store, pin_set=pin_set
+            self.network,
+            trust_store=self.trust_store,
+            pin_set=pin_set,
+            obs=self.obs,
         )
 
     def __repr__(self) -> str:
@@ -128,7 +140,13 @@ class AndroidDevice:
         )
 
 
-def nexus_5(network: Network, authority: KeyboxAuthority, *, serial: str = "N5-001") -> AndroidDevice:
+def nexus_5(
+    network: Network,
+    authority: KeyboxAuthority,
+    *,
+    serial: str = "N5-001",
+    obs: ObservabilityBus | None = None,
+) -> AndroidDevice:
     """The discontinued device of §IV-B "Outdated Device"."""
     spec = DeviceSpec(
         model="Nexus 5",
@@ -138,10 +156,18 @@ def nexus_5(network: Network, authority: KeyboxAuthority, *, serial: str = "N5-0
         has_tee=False,
         cdm_version=str(CDM_NEXUS5),
     )
-    return AndroidDevice(spec, serial=serial, network=network, authority=authority)
+    return AndroidDevice(
+        spec, serial=serial, network=network, authority=authority, obs=obs
+    )
 
 
-def pixel_6(network: Network, authority: KeyboxAuthority, *, serial: str = "P6-001") -> AndroidDevice:
+def pixel_6(
+    network: Network,
+    authority: KeyboxAuthority,
+    *,
+    serial: str = "P6-001",
+    obs: ObservabilityBus | None = None,
+) -> AndroidDevice:
     """A current, supported L1 device."""
     spec = DeviceSpec(
         model="Pixel 6",
@@ -151,11 +177,17 @@ def pixel_6(network: Network, authority: KeyboxAuthority, *, serial: str = "P6-0
         has_tee=True,
         cdm_version=str(CDM_CURRENT),
     )
-    return AndroidDevice(spec, serial=serial, network=network, authority=authority)
+    return AndroidDevice(
+        spec, serial=serial, network=network, authority=authority, obs=obs
+    )
 
 
 def galaxy_s7(
-    network: Network, authority: KeyboxAuthority, *, serial: str = "S7-001"
+    network: Network,
+    authority: KeyboxAuthority,
+    *,
+    serial: str = "S7-001",
+    obs: ObservabilityBus | None = None,
 ) -> AndroidDevice:
     """A discontinued *L1* device (TEE present, updates stopped 2019).
 
@@ -172,4 +204,6 @@ def galaxy_s7(
         has_tee=True,
         cdm_version="11.0.0",
     )
-    return AndroidDevice(spec, serial=serial, network=network, authority=authority)
+    return AndroidDevice(
+        spec, serial=serial, network=network, authority=authority, obs=obs
+    )

@@ -1,13 +1,23 @@
 """Message-flow tracing, used to regenerate the paper's Figure 1.
 
-Every component of the playback path records its arrows (application →
-Media DRM Server → CDM, application → license server / CDN) into the
-device's :class:`FlowTrace`; the Figure 1 benchmark asserts the
-captured sequence against the published diagram.
+``FlowTrace`` is a thin consumer of the observability bus: components
+on the playback path emit their arrows (application → Media DRM Server
+→ CDM, application → license server / CDN) through
+:meth:`repro.obs.bus.ObservabilityBus.flow`, and the device's trace —
+registered as a flow consumer at boot — appends them here. The Figure 1
+benchmark asserts the captured sequence against the published diagram,
+byte-identical to the pre-bus recording.
+
+Record/clear are lock-guarded: under :class:`ParallelStudyRunner` each
+worker owns its device (and therefore its trace), but nothing should
+rely on that for memory safety — a concurrent ``clear()`` must never
+interleave with an append (the spirit of the repo's REG001/LRU004
+invariants).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["FlowEvent", "FlowTrace"]
@@ -31,16 +41,23 @@ class FlowTrace:
 
     events: list[FlowEvent] = field(default_factory=list)
     enabled: bool = True
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, source: str, target: str, label: str) -> None:
         if self.enabled:
-            self.events.append(FlowEvent(source, target, label))
+            with self._lock:
+                self.events.append(FlowEvent(source, target, label))
 
     def labels(self) -> list[tuple[str, str, str]]:
-        return [(e.source, e.target, e.label) for e in self.events]
+        with self._lock:
+            return [(e.source, e.target, e.label) for e in self.events]
 
     def clear(self) -> None:
-        self.events.clear()
+        with self._lock:
+            self.events.clear()
 
     def render(self) -> str:
-        return "\n".join(str(e) for e in self.events)
+        with self._lock:
+            return "\n".join(str(e) for e in self.events)

@@ -7,6 +7,7 @@
     wideleak lint [paths...]     AST lint of the repo's own invariants
     wideleak attack <app>        run the §IV-D key-ladder attack
     wideleak attack-all          the full §IV-D sweep
+    wideleak trace [--app <app>] record a run and export a Chrome trace
     wideleak list-apps           show the evaluated services
 
 Also runnable as ``python -m repro <command>``.
@@ -83,6 +84,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     attack = sub.add_parser("attack", help="run the key-ladder attack on one app")
     attack.add_argument("app", help='display name, e.g. "Showtime"')
+
+    trace = sub.add_parser(
+        "trace",
+        help="run the study with the observability bus recording and "
+        "export a Chrome trace_event JSON (chrome://tracing / Perfetto)",
+    )
+    trace.add_argument(
+        "--app",
+        help='trace a single app, e.g. "netflix" (default: the full study)',
+    )
+    trace.add_argument(
+        "--out",
+        "-o",
+        default="trace.json",
+        metavar="PATH",
+        help="output path for the Chrome trace (default: trace.json)",
+    )
 
     return parser
 
@@ -216,15 +234,41 @@ def _cmd_analyze(app_name: str | None, all_apps: bool) -> int:
 
 
 def _cmd_lint(paths: list[str]) -> int:
-    from repro.analysis.lint import lint_paths
+    from repro.analysis.lint import lint_paths_report
 
-    violations = lint_paths(paths)
-    for violation in violations:
+    report = lint_paths_report(paths)
+    for violation in report.violations:
         print(violation)
-    if violations:
-        print(f"{len(violations)} violation(s)")
+    for suppressed in report.suppressed:
+        print(suppressed)
+    if report.violations:
+        print(f"{len(report.violations)} violation(s)")
         return 1
-    print("clean: repo invariants hold")
+    if report.suppressed:
+        print(f"clean: repo invariants hold ({len(report.suppressed)} suppression(s))")
+    else:
+        print("clean: repo invariants hold")
+    return 0
+
+
+def _cmd_trace(app_name: str | None, out: str) -> int:
+    from repro.obs.export import render_metrics_table, write_chrome_trace
+
+    study = WideLeakStudy.with_default_apps()
+    if app_name is None:
+        study.run()
+    else:
+        try:
+            profile = profile_by_name(app_name)
+        except KeyError as exc:
+            print(exc.args[0])
+            return 2
+        study.study_app(profile)
+    path = write_chrome_trace(study.obs, out)
+    spans = len(study.obs.spans)
+    print(f"wrote {path} ({spans} spans) — load in chrome://tracing or Perfetto")
+    print()
+    print(render_metrics_table(study.obs))
     return 0
 
 
@@ -279,6 +323,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_analyze(args.app, args.all)
     if args.command == "lint":
         return _cmd_lint(args.paths)
+    if args.command == "trace":
+        return _cmd_trace(args.app, args.out)
     if args.command == "attack":
         return _cmd_attack(args.app)
     if args.command == "attack-all":

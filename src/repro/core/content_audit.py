@@ -80,6 +80,12 @@ class ContentAuditor:
         self.network = network
 
     def audit(self, app: OttApp, *, title_id: str | None = None) -> ContentAuditResult:
+        with self.device.obs.span("audit.content", app=app.profile.name):
+            return self._audit(app, title_id=title_id)
+
+    def _audit(
+        self, app: OttApp, *, title_id: str | None = None
+    ) -> ContentAuditResult:
         monitor = DrmApiMonitor(self.device)
         proxy = InterceptingProxy(self.network)
         self.device.trust_store.add_issuer(InterceptingProxy.CA_NAME)
@@ -120,7 +126,9 @@ class ContentAuditor:
         result.mpd_url = mpd_url
 
         # -- account-less download and classification -------------------
-        anonymous = HttpClient(self.network)
+        # Fresh client, no account, no pins — but it observes through
+        # the device's bus like every other probe in this audit.
+        anonymous = HttpClient(self.network, obs=self.device.obs)
         response = anonymous.get(mpd_url)
         if not response.ok:
             result.notes.append(f"manifest download failed: {response.status}")

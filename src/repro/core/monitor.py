@@ -50,11 +50,16 @@ class DrmApiMonitor:
         self._session = FridaSession.attach(
             self.device, self.device.drm_process.name
         )
-        self._monitor = OeccMonitor(self._session)
+        self._monitor = OeccMonitor(self._session, obs=self.device.obs)
         self._monitor.install()
 
     def detach(self) -> None:
         if self._session is not None:
+            # Teardown discards the hook session and its monitor — the
+            # collected buffer dumps must reach the bus first, or the
+            # "in-depth analysis" channel silently loses its data.
+            if self._monitor is not None:
+                self._monitor.flush_dumps()
             self._session.detach()
             self._session = None
             self._monitor = None

@@ -38,6 +38,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.android.device import AndroidDevice, nexus_5, pixel_6
 from repro.core.report import TableOne
+from repro.obs.bus import ObservabilityBus
 from repro.core.study import (
     AppStudyResult,
     AttackStudyResult,
@@ -61,9 +62,19 @@ class DeviceSession:
     """
 
     def __init__(self, study: WideLeakStudy):
-        self.l1_device: AndroidDevice = pixel_6(study.network, study.authority)
+        # The worker's own bus — context propagates by travelling with
+        # the session's devices, never through thread-locals. Folded
+        # back into the study's bus in profile order once the worker's
+        # task resolves, so the merged recording matches the sequential
+        # run span-for-span.
+        self.obs = ObservabilityBus(enabled=study.obs.enabled)
+        self.l1_device: AndroidDevice = pixel_6(
+            study.network, study.authority, obs=self.obs
+        )
         self.l1_device.rooted = True
-        self.legacy_device: AndroidDevice = nexus_5(study.network, study.authority)
+        self.legacy_device: AndroidDevice = nexus_5(
+            study.network, study.authority, obs=self.obs
+        )
         self.legacy_device.rooted = True
 
 
@@ -95,19 +106,25 @@ class ParallelStudyRunner:
     def _effective_jobs(self, task_count: int) -> int:
         return max(1, min(self.jobs, task_count))
 
-    def _study_one(self, profile: OttProfile) -> AppStudyResult:
+    def _study_one(
+        self, profile: OttProfile
+    ) -> tuple[AppStudyResult, ObservabilityBus]:
         session = DeviceSession(self.study)
-        return self.study.study_app(
+        result = self.study.study_app(
             profile,
             l1_device=session.l1_device,
             legacy_device=session.legacy_device,
         )
+        return result, session.obs
 
-    def _attack_one(self, profile: OttProfile) -> AttackStudyResult:
+    def _attack_one(
+        self, profile: OttProfile
+    ) -> tuple[AttackStudyResult, ObservabilityBus]:
         session = DeviceSession(self.study)
-        return self.study.run_attack(
+        result = self.study.run_attack(
             profile, legacy_device=session.legacy_device
         )
+        return result, session.obs
 
     # -- the study -------------------------------------------------------------
 
@@ -121,10 +138,13 @@ class ParallelStudyRunner:
         with ThreadPoolExecutor(
             max_workers=jobs, thread_name_prefix="wideleak-study"
         ) as pool:
-            app_results = list(pool.map(self._study_one, profiles))
+            outcomes = list(pool.map(self._study_one, profiles))
 
-        result = StudyResult(table=TableOne())
-        for profile, app_result in zip(profiles, app_results):
+        result = StudyResult(table=TableOne(), obs=self.study.obs)
+        # Assembly — and bus merging — happen in profile order, so both
+        # the artifact and the merged trace are scheduling-independent.
+        for profile, (app_result, worker_bus) in zip(profiles, outcomes):
+            self.study.obs.absorb(worker_bus)
             result.apps[profile.name] = app_result
             result.table.add(self.study._to_row(app_result))
         return result
@@ -142,7 +162,8 @@ class ParallelStudyRunner:
             max_workers=jobs, thread_name_prefix="wideleak-attack"
         ) as pool:
             outcomes = list(pool.map(self._attack_one, profiles))
-        return {
-            profile.name: outcome
-            for profile, outcome in zip(profiles, outcomes)
-        }
+        results: dict[str, AttackStudyResult] = {}
+        for profile, (outcome, worker_bus) in zip(profiles, outcomes):
+            self.study.obs.absorb(worker_bus)
+            results[profile.name] = outcome
+        return results

@@ -47,6 +47,7 @@ from repro.core.static_analysis import StaticAnalysisReport, analyze_apk
 from repro.license_server.provisioning import KeyboxAuthority
 from repro.media.player import AssetStatus
 from repro.net.network import Network
+from repro.obs.bus import ObservabilityBus
 from repro.ott.app import OttApp
 from repro.ott.backend import OttBackend
 from repro.ott.profile import OttProfile
@@ -99,6 +100,9 @@ class StudyResult:
 
     table: TableOne
     apps: dict[str, AppStudyResult] = field(default_factory=dict)
+    # The bus the run observed through; carries the aggregate metrics
+    # for summary()/report and the span tree for the trace exporters.
+    obs: ObservabilityBus | None = field(default=None, repr=False, compare=False)
 
     def crosscheck_table(self) -> CrossCheckTable:
         """Static-vs-dynamic reconciliation, one row per app."""
@@ -107,10 +111,26 @@ class StudyResult:
             table.add(app.crosscheck_row())
         return table
 
+    def metrics_table(self) -> str:
+        """The run's aggregate observability metrics, rendered."""
+        from repro.obs.export import render_metrics_table
+
+        if self.obs is None:
+            return "(no observability bus attached)"
+        return render_metrics_table(self.obs)
+
     def summary(self) -> dict[str, object]:
         """The paper's headline counts, computed from measurements."""
         audits = {name: app.audit for name, app in self.apps.items()}
+        # Deterministic bus counters only — request/byte/flow/license
+        # totals are functions of the study inputs, so they survive the
+        # byte-identity contract (sequential == parallel, cold == warm).
+        # Span *durations* are wall-clock and stay out of the artifact.
+        observability: dict[str, object] = {}
+        if self.obs is not None and self.obs.enabled:
+            observability = {"counters": dict(self.obs.metrics.counters())}
         return {
+            "observability": observability,
             "apps_with_reachable_key_leaks": sorted(
                 name
                 for name, app in self.apps.items()
@@ -208,24 +228,41 @@ class StudyResult:
 class WideLeakStudy:
     """One self-contained instance of the WideLeak experiment."""
 
-    def __init__(self, profiles: tuple[OttProfile, ...] | None = None):
+    def __init__(
+        self,
+        profiles: tuple[OttProfile, ...] | None = None,
+        *,
+        obs: ObservabilityBus | None = None,
+    ):
         self.profiles = profiles if profiles is not None else ALL_PROFILES
+        # One bus for the whole (sequential) study: world construction,
+        # packaging, every per-app pipeline. The parallel runner gives
+        # each worker session its own bus and merges them back here.
+        self.obs = obs if obs is not None else ObservabilityBus()
         self.network = Network()
         self.authority = KeyboxAuthority()
         self.backends: dict[str, OttBackend] = {
-            profile.service: OttBackend(profile, self.network, self.authority)
+            profile.service: OttBackend(
+                profile, self.network, self.authority, obs=self.obs
+            )
             for profile in self.profiles
         }
         # Researcher-controlled (rooted) devices, per the DRM threat model.
-        self.l1_device: AndroidDevice = pixel_6(self.network, self.authority)
+        self.l1_device: AndroidDevice = pixel_6(
+            self.network, self.authority, obs=self.obs
+        )
         self.l1_device.rooted = True
-        self.legacy_device: AndroidDevice = nexus_5(self.network, self.authority)
+        self.legacy_device: AndroidDevice = nexus_5(
+            self.network, self.authority, obs=self.obs
+        )
         self.legacy_device.rooted = True
 
     @classmethod
-    def with_default_apps(cls) -> "WideLeakStudy":
+    def with_default_apps(
+        cls, *, obs: ObservabilityBus | None = None
+    ) -> "WideLeakStudy":
         """The paper's setup: all ten premium OTT apps."""
-        return cls()
+        return cls(obs=obs)
 
     # -- single-app pipeline ---------------------------------------------------
 
@@ -250,31 +287,35 @@ class WideLeakStudy:
         legacy_device = legacy_device or self.legacy_device
         backend = self.backends[profile.service]
 
-        app_l1 = OttApp(profile, l1_device, backend)
-        static = analyze_apk(app_l1.apk)
-        analysis = analyze_dataflow(app_l1.apk)
-        audit = ContentAuditor(l1_device, self.network).audit(app_l1)
-        key_usage = KeyUsageAnalyzer().analyze(app_l1, audit.mpd_bytes)
+        # One root span per app, on the bus that travels with the
+        # executing worker's devices — the study's own bus when running
+        # sequentially, the session's bus under the parallel runner.
+        with l1_device.obs.span("study.app", app=profile.name):
+            app_l1 = OttApp(profile, l1_device, backend)
+            static = analyze_apk(app_l1.apk)
+            analysis = analyze_dataflow(app_l1.apk)
+            audit = ContentAuditor(l1_device, self.network).audit(app_l1)
+            key_usage = KeyUsageAnalyzer().analyze(app_l1, audit.mpd_bytes)
 
-        app_legacy = OttApp(profile, legacy_device, backend)
-        legacy = LegacyDeviceProbe(legacy_device).probe(app_legacy)
+            app_legacy = OttApp(profile, legacy_device, backend)
+            legacy = LegacyDeviceProbe(legacy_device).probe(app_legacy)
 
-        return AppStudyResult(
-            profile=profile,
-            static=static,
-            audit=audit,
-            key_usage=key_usage,
-            legacy=legacy,
-            analysis=analysis,
-            crosscheck=cross_check(
-                profile.package, analysis.call_sites, audit.observation
-            ),
-        )
+            return AppStudyResult(
+                profile=profile,
+                static=static,
+                audit=audit,
+                key_usage=key_usage,
+                legacy=legacy,
+                analysis=analysis,
+                crosscheck=cross_check(
+                    profile.package, analysis.call_sites, audit.observation
+                ),
+            )
 
     # -- the full study -----------------------------------------------------------
 
     def run(self) -> StudyResult:
-        result = StudyResult(table=TableOne())
+        result = StudyResult(table=TableOne(), obs=self.obs)
         for profile in self.profiles:
             app_result = self.study_app(profile)
             result.apps[profile.name] = app_result
@@ -339,18 +380,21 @@ class WideLeakStudy:
         """
         legacy_device = legacy_device or self.legacy_device
         backend = self.backends[profile.service]
-        app = OttApp(profile, legacy_device, backend)
-        attack = KeyLadderAttack(legacy_device).run(app)
+        with legacy_device.obs.span("study.attack", app=profile.name):
+            app = OttApp(profile, legacy_device, backend)
+            attack = KeyLadderAttack(legacy_device).run(app)
 
-        recovered: RecoveredMedia | None = None
-        if attack.content_keys:
-            title_id = next(iter(backend.catalog)).title_id
-            packaged = backend.packaged[title_id]
-            mpd_url = f"https://{profile.cdn_host}{packaged.mpd_path}"
-            recovered = MediaRecoveryPipeline(self.network).recover(
-                profile.service, mpd_url, attack.content_keys
+            recovered: RecoveredMedia | None = None
+            if attack.content_keys:
+                title_id = next(iter(backend.catalog)).title_id
+                packaged = backend.packaged[title_id]
+                mpd_url = f"https://{profile.cdn_host}{packaged.mpd_path}"
+                recovered = MediaRecoveryPipeline(self.network).recover(
+                    profile.service, mpd_url, attack.content_keys
+                )
+            return AttackStudyResult(
+                profile=profile, attack=attack, recovered=recovered
             )
-        return AttackStudyResult(profile=profile, attack=attack, recovered=recovered)
 
     def run_all_attacks(self) -> dict[str, AttackStudyResult]:
         """§IV-D across every evaluated app."""

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.bmff.boxes import PsshBox, parse_boxes
 from repro.dash.mpd import Mpd, MpdRepresentation, WIDEVINE_SCHEME_URI
+from repro.obs.bus import NULL_BUS, ObservabilityBus
 
 __all__ = [
     "MAX_HEIGHT_BY_LEVEL",
@@ -45,8 +46,9 @@ class TrackSelection:
 class TrackSelector:
     """Selects representations from a manifest, ExoPlayer-style."""
 
-    def __init__(self, mpd: Mpd):
+    def __init__(self, mpd: Mpd, *, obs: ObservabilityBus | None = None):
         self.mpd = mpd
+        self.obs = obs if obs is not None else NULL_BUS
 
     def select_video(self, *, max_height: int) -> MpdRepresentation:
         """Highest video rung within the ceiling."""
@@ -60,7 +62,14 @@ class TrackSelector:
             raise TrackSelectionError(
                 f"no playable video representation under {max_height}p"
             )
-        return max(candidates, key=lambda rep: rep.height or 0)
+        chosen = max(candidates, key=lambda rep: rep.height or 0)
+        self.obs.event(
+            "dash.select_video",
+            rep=chosen.rep_id,
+            height=chosen.height,
+            ceiling=max_height,
+        )
+        return chosen
 
     def select_audio(self, language: str) -> MpdRepresentation:
         for aset in self.mpd.sets_of_type("audio"):

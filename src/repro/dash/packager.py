@@ -27,6 +27,7 @@ from repro.media.codecs import sample_header_length
 from repro.media.content import Representation, Title, TrackKind
 from repro.media.subtitles import build_webvtt
 from repro.net.cdn import CdnServer
+from repro.obs.bus import NULL_BUS, ObservabilityBus
 
 __all__ = [
     "TrackCrypto",
@@ -171,10 +172,12 @@ class Packager:
         *,
         provider: str | None = None,
         publish_key_ids: bool = True,
+        obs: ObservabilityBus | None = None,
     ):
         self.service = service
         self.cdn = cdn
         self.provider = provider or service
+        self.obs = obs if obs is not None else NULL_BUS
         # When False the MPD omits per-representation cenc:default_KID
         # attributes (only the aggregated Widevine PSSH remains) —
         # modelling services whose per-track key metadata sits behind a
@@ -200,6 +203,19 @@ class Packager:
         if missing:
             raise ValueError(f"no crypto decision for representations: {missing}")
 
+        with self.obs.span(
+            "package.title", service=self.service, title=title.title_id
+        ):
+            packaged = self._package(title, crypto_by_rep, base_path)
+            self.obs.count("package.titles")
+            return packaged
+
+    def _package(
+        self,
+        title: Title,
+        crypto_by_rep: dict[str, TrackCrypto],
+        base_path: str | None,
+    ) -> PackagedTitle:
         base = base_path or f"/{self.service}/{title.title_id}"
         all_kids = sorted(
             {c.key_id for c in crypto_by_rep.values() if c.key_id is not None}
@@ -311,6 +327,7 @@ class Packager:
 
         packaged.asset_urls[rep.rep_id] = (init_url, segment_urls)
         packaged.kid_by_rep[rep.rep_id] = crypto.key_id
+        self.obs.count("package.segments", title.segment_count)
         return MpdRepresentation(
             rep_id=rep.rep_id,
             bandwidth_kbps=rep.bitrate_kbps,

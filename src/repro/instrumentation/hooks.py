@@ -21,6 +21,7 @@ from typing import Any
 
 from repro.instrumentation.frida import CallRecord, FridaSession
 from repro.net.network import HttpClient
+from repro.obs.bus import NULL_BUS, ObservabilityBus
 
 __all__ = ["BufferDump", "OeccMonitor", "disable_ssl_pinning"]
 
@@ -40,7 +41,9 @@ class OeccMonitor:
 
     session: FridaSession
     dumps: list[BufferDump] = field(default_factory=list)
+    obs: ObservabilityBus = field(default=NULL_BUS, repr=False, compare=False)
     _installed: bool = False
+    _flushed: int = field(default=0, repr=False, compare=False)
 
     # Functions whose byte buffers the study dumps for offline analysis.
     _DUMP_IN = {
@@ -119,9 +122,29 @@ class OeccMonitor:
             and (direction is None or d.direction == direction)
         ]
 
+    def flush_dumps(self) -> int:
+        """Emit every not-yet-flushed buffer dump to the bus as an
+        ``oecc.dump`` event (function, direction, size — never the
+        bytes). Called by :class:`~repro.core.monitor.DrmApiMonitor`
+        on detach so the dumps outlive the torn-down hook session;
+        returns how many were flushed."""
+        pending = self.dumps[self._flushed :]
+        for dump in pending:
+            self.obs.event(
+                "oecc.dump",
+                function=dump.function,
+                direction=dump.direction,
+                size=len(dump.data),
+            )
+        if pending:
+            self.obs.count("oecc.dumps", len(pending))
+        self._flushed = len(self.dumps)
+        return len(pending)
+
     def clear(self) -> None:
         self.session.clear_records()
         self.dumps.clear()
+        self._flushed = 0
 
 
 def disable_ssl_pinning(client: HttpClient) -> None:

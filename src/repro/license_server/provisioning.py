@@ -26,6 +26,7 @@ from repro.license_server.protocol import (
 )
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.server import VirtualServer
+from repro.obs.bus import NULL_BUS
 from repro.widevine.keybox import Keybox
 from repro.widevine.oemcrypto import LABEL_PROV_MAC, LABEL_PROVISIONING
 
@@ -128,6 +129,16 @@ class ProvisioningServer(VirtualServer):
         self.route("/provision", self._handle_provision)
 
     def _handle_provision(self, request: HttpRequest) -> HttpResponse:
+        bus = request.obs if request.obs is not None else NULL_BUS
+        with bus.span("provision.issue", host=self.hostname) as span:
+            response = self._issue_provision(request)
+            span.set(status=response.status)
+            bus.count(
+                "provision.issued" if response.ok else "provision.denied"
+            )
+            return response
+
+    def _issue_provision(self, request: HttpRequest) -> HttpResponse:
         try:
             prov_request = ProvisionRequest.parse(request.body)
         except ProtocolError as exc:

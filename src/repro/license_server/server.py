@@ -30,6 +30,7 @@ from repro.license_server.provisioning import ProvisioningRecords
 from repro.media.content import Title, TrackKind
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.server import VirtualServer
+from repro.obs.bus import NULL_BUS
 
 __all__ = ["LicenseServer", "RegisteredKey", "SessionRecord"]
 
@@ -121,6 +122,14 @@ class LicenseServer(VirtualServer):
     # -- license issuing -----------------------------------------------------
 
     def _handle_license(self, request: HttpRequest) -> HttpResponse:
+        bus = request.obs if request.obs is not None else NULL_BUS
+        with bus.span("license.issue", host=self.hostname) as span:
+            response = self._issue_license(request)
+            span.set(status=response.status)
+            bus.count("license.issued" if response.ok else "license.denied")
+            return response
+
+    def _issue_license(self, request: HttpRequest) -> HttpResponse:
         try:
             lic_request = LicenseRequest.parse(request.body)
         except ProtocolError as exc:

@@ -11,6 +11,7 @@ import hashlib
 
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.server import VirtualServer
+from repro.obs.bus import NULL_BUS
 
 __all__ = ["CdnServer"]
 
@@ -45,11 +46,15 @@ class CdnServer(VirtualServer):
 
     def _serve(self, request: HttpRequest) -> HttpResponse:
         url = request.parsed_url
+        bus = request.obs if request.obs is not None else NULL_BUS
         blob = self._blobs.get(url.path)
         if blob is None:
             return HttpResponse.not_found(f"no asset at {url.path}")
         if self._require_token and url.query.get("token") != self.token_for(url.path):
+            bus.count("cdn.token_rejections")
             return HttpResponse.forbidden("missing or invalid CDN token")
+        bus.count("cdn.segments_served")
+        bus.count("cdn.bytes_served", len(blob))
         return HttpResponse(
             status=200,
             headers={"content-type": "application/octet-stream"},

@@ -8,7 +8,11 @@ where TLS, pinning and the intercepting proxy live.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 from urllib.parse import parse_qs, urlparse
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.bus import ObservabilityBus
 
 __all__ = ["HttpRequest", "HttpResponse", "Url", "parse_url"]
 
@@ -45,12 +49,22 @@ def parse_url(raw: str) -> Url:
 
 @dataclass
 class HttpRequest:
-    """One HTTP request."""
+    """One HTTP request.
+
+    ``obs`` carries the sender's observability bus across the
+    client/server seam (set by :class:`~repro.net.network.HttpClient`),
+    so server-side spans nest under the client's request span without
+    any thread-local ambient state. It is transport metadata, not part
+    of the message: excluded from equality and repr.
+    """
 
     method: str
     url: str
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    obs: "ObservabilityBus | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def parsed_url(self) -> Url:

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.server import VirtualServer
 from repro.net.tls import PinSet, TlsError, TrustStore
+from repro.obs.bus import NULL_BUS, ObservabilityBus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.proxy import InterceptingProxy
@@ -70,17 +71,33 @@ class HttpClient:
         *,
         trust_store: TrustStore | None = None,
         pin_set: PinSet | None = None,
+        obs: ObservabilityBus | None = None,
     ):
         self.network = network
         self.trust_store = trust_store or TrustStore()
         self.pin_set = pin_set or PinSet()
         self.proxy: "InterceptingProxy | None" = None
+        self.obs = obs if obs is not None else NULL_BUS
 
     def set_proxy(self, proxy: "InterceptingProxy | None") -> None:
         self.proxy = proxy
 
     def request(self, request: HttpRequest) -> HttpResponse:
-        host = request.parsed_url.host
+        parsed = request.parsed_url
+        # Stamp the sender's bus on the request so the origin (and any
+        # interposed proxy) span under the same tree.
+        request.obs = self.obs
+        with self.obs.span(
+            "http.request", method=request.method, host=parsed.host, path=parsed.path
+        ):
+            self.obs.count("http.requests")
+            self.obs.count("http.bytes_out", len(request.body))
+            response = self._deliver(request, parsed.host)
+            self.obs.count("http.bytes_in", len(response.body))
+            self.obs.count(f"http.status.{response.status}")
+        return response
+
+    def _deliver(self, request: HttpRequest, host: str) -> HttpResponse:
         if self.proxy is not None:
             # The proxy terminates TLS with its own certificate for the
             # requested host; the client validates that certificate.

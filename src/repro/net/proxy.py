@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.network import Network
 from repro.net.tls import Certificate, issue_certificate
+from repro.obs.bus import NULL_BUS
 
 __all__ = ["Flow", "InterceptingProxy"]
 
@@ -56,12 +57,19 @@ class InterceptingProxy:
     def forward(self, request: HttpRequest) -> HttpResponse:
         """Relay to the real origin, recording (and optionally
         transforming) the exchange."""
-        response = self._network.deliver(request)
-        if self.response_hook is not None:
-            response = self.response_hook(request, response)
-        self.flows.append(
-            Flow(host=request.parsed_url.host, request=request, response=response)
-        )
+        bus = request.obs if request.obs is not None else NULL_BUS
+        with bus.span(
+            "proxy.forward", host=request.parsed_url.host
+        ) as span:
+            response = self._network.deliver(request)
+            if self.response_hook is not None:
+                response = self.response_hook(request, response)
+                span.event("proxy.tamper")
+            self.flows.append(
+                Flow(host=request.parsed_url.host, request=request, response=response)
+            )
+            bus.count("proxy.flows")
+            bus.count("proxy.bytes_captured", len(response.body))
         return response
 
     def flows_for(self, host_substring: str) -> list[Flow]:

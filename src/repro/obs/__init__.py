@@ -1,0 +1,41 @@
+"""``repro.obs`` — the structured observability bus.
+
+The paper's methodology *is* observability: Frida hooks on the
+``_oecc`` surface, SSL-unpinned proxy captures and the Figure 1
+message-flow diagram are three views of one playback. This package
+gives the reproduction a single spine for all of them:
+
+- :mod:`repro.obs.span` — hierarchical spans with attributes and point
+  events;
+- :mod:`repro.obs.metrics` — counters and histograms, merge-safe;
+- :mod:`repro.obs.bus` — the :class:`ObservabilityBus` every layer
+  emits through (explicitly propagated, one per worker, no
+  thread-locals);
+- :mod:`repro.obs.export` — JSON-lines, Chrome ``trace_event``
+  (``chrome://tracing`` / Perfetto) and metrics-table exporters.
+"""
+
+from repro.obs.bus import NULL_BUS, ObservabilityBus
+from repro.obs.export import (
+    render_metrics_table,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+)
+from repro.obs.metrics import HistogramStat, MetricsRegistry
+from repro.obs.span import NULL_SPAN, Span, SpanPoint, structural_tree
+
+__all__ = [
+    "ObservabilityBus",
+    "NULL_BUS",
+    "Span",
+    "SpanPoint",
+    "NULL_SPAN",
+    "structural_tree",
+    "MetricsRegistry",
+    "HistogramStat",
+    "to_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "render_metrics_table",
+]

@@ -1,0 +1,224 @@
+"""The observability bus: one hook point, many consumers.
+
+Every observation channel the reproduction used to keep separately —
+Figure 1 flow arrows (``FlowTrace``), OEMCrypto hook buffer dumps,
+proxy captures, DRM API observations — now emits through one
+:class:`ObservabilityBus`:
+
+- ``bus.span(name, **attrs)`` opens a timed, hierarchical span;
+- ``bus.event(name, **attrs)`` attaches a point event to the current
+  span;
+- ``bus.flow(source, target, label)`` draws a Figure 1 arrow — fanned
+  out to registered flow consumers (the device's ``FlowTrace`` is one)
+  and, when the bus is enabled, recorded on the timeline too;
+- ``bus.count`` / ``bus.observe`` feed the metrics registry.
+
+Context is propagated *explicitly*: a bus travels with the worker that
+owns it (the study's bus sequentially; one fresh bus per
+``DeviceSession`` under ``ParallelStudyRunner``), and crosses the
+client/server seam as ``HttpRequest.obs``. There are no thread-locals,
+so nothing can leak between workers; per-worker buses are merged into
+the study's in profile order with :meth:`absorb`, keeping every
+artifact byte-identical to the sequential run.
+
+A disabled bus (``ObservabilityBus(enabled=False)``) is a no-op: spans
+return the shared :data:`~repro.obs.span.NULL_SPAN`, events and metrics
+vanish, and only flow arrows still reach their consumers (that is the
+pre-bus ``FlowTrace`` contract, which Figure 1 regeneration relies on).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import NULL_SPAN, Span, SpanPoint, structural_tree
+
+__all__ = ["ObservabilityBus", "NULL_BUS", "FlowConsumer"]
+
+FlowConsumer = Callable[[str, str, str], None]
+
+
+class ObservabilityBus:
+    """Collects spans, events, flow arrows and metrics for one run."""
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        clock: Callable[[], int] | None = None,
+    ):
+        self.enabled = enabled
+        # Span timing is wall-clock by design: traces measure where real
+        # time goes. Determinism holds structurally — tests compare span
+        # trees and counters, never timestamps.
+        self._clock = clock if clock is not None else time.perf_counter_ns  # lint: allow(CLK003) spans time real execution; determinism compares structure, not timestamps
+        self._lock = threading.RLock()
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._events: list[SpanPoint] = []
+        self._flow_consumers: list[FlowConsumer] = []
+        self._next_id = 1
+        self.metrics = MetricsRegistry()
+
+    # -- spans -------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span nested under the currently open one.
+
+        Returns a context manager; the returned span doubles as a
+        handle for attaching attributes and point events.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        now = self._clock()
+        with self._lock:
+            parent = self._stack[-1] if self._stack else None
+            if parent is None:
+                track = str(attrs.get("app", name))
+            else:
+                track = parent.track
+            span = Span(
+                name=name,
+                span_id=self._next_id,
+                parent_id=None if parent is None else parent.span_id,
+                track=track,
+                start_ns=now,
+                attrs=dict(attrs),
+            )
+            span._bus = self
+            self._next_id += 1
+            self._spans.append(span)
+            self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        now = self._clock()
+        with self._lock:
+            if span.end_ns is None:
+                span.end_ns = now
+            if any(entry is span for entry in self._stack):
+                # Close everything opened after (and including) this
+                # span: an exception may unwind several levels at once.
+                while self._stack:
+                    top = self._stack.pop()
+                    if top.end_ns is None:
+                        top.end_ns = now
+                    if top is span:
+                        break
+        self.metrics.observe(f"span.{span.name}", span.duration_ns)
+
+    def _point(self, span: Span, name: str, attrs: dict[str, Any]) -> None:
+        if not self.enabled:
+            return
+        point = SpanPoint(name=name, ts_ns=self._clock(), attrs=dict(attrs))
+        with self._lock:
+            span.points.append(point)
+
+    def current_span(self) -> Span | None:
+        with self._lock:
+            return self._stack[-1] if self._stack else None
+
+    # -- point events ------------------------------------------------------
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instantaneous event on the current span (or the
+        bus root when no span is open)."""
+        if not self.enabled:
+            return
+        point = SpanPoint(name=name, ts_ns=self._clock(), attrs=dict(attrs))
+        with self._lock:
+            if self._stack:
+                self._stack[-1].points.append(point)
+            else:
+                self._events.append(point)
+
+    # -- flow arrows -------------------------------------------------------
+
+    def add_flow_consumer(self, consumer: FlowConsumer) -> None:
+        """Register a ``(source, target, label)`` sink; the device's
+        :class:`~repro.android.trace.FlowTrace` is the canonical one."""
+        with self._lock:
+            self._flow_consumers.append(consumer)
+
+    def flow(self, source: str, target: str, label: str) -> None:
+        """Draw one Figure 1 arrow."""
+        for consumer in self._flow_consumers:
+            consumer(source, target, label)
+        if self.enabled:
+            self.metrics.count("flow.arrows")
+            self.event("flow", source=source, target=target, label=label)
+
+    # -- metrics shorthands ------------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        if self.enabled:
+            self.metrics.count(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.observe(name, value)
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        """Snapshot of recorded spans, in open order."""
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def events(self) -> list[SpanPoint]:
+        """Snapshot of root-level (orphan) point events."""
+        with self._lock:
+            return list(self._events)
+
+    def span_names(self) -> list[str]:
+        return [s.name for s in self.spans]
+
+    def trees(self) -> list[tuple]:
+        """Timestamp-free structural projection (see
+        :func:`~repro.obs.span.structural_tree`)."""
+        return structural_tree(self.spans)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop all recorded data (flow consumers stay registered)."""
+        with self._lock:
+            self._spans.clear()
+            self._stack.clear()
+            self._events.clear()
+            self._next_id = 1
+        self.metrics = MetricsRegistry()
+
+    def absorb(self, other: "ObservabilityBus") -> None:
+        """Fold a finished worker bus into this one.
+
+        Span ids are remapped past this bus's id space so trees stay
+        intact; called in profile order by the parallel runner, which
+        keeps the merged artifact deterministic.
+        """
+        if other is self:
+            return
+        with other._lock:
+            spans = list(other._spans)
+            events = list(other._events)
+            id_span = other._next_id
+        with self._lock:
+            offset = self._next_id - 1
+            for span in spans:
+                span.span_id += offset
+                if span.parent_id is not None:
+                    span.parent_id += offset
+                span._bus = self
+            self._spans.extend(spans)
+            self._events.extend(events)
+            self._next_id = id_span + offset
+        self.metrics.merge(other.metrics)
+
+
+NULL_BUS = ObservabilityBus(enabled=False)
+"""Shared disabled bus for components constructed without one."""

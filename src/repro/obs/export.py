@@ -1,0 +1,157 @@
+"""Exporters: turn one bus's recordings into shareable artifacts.
+
+Three output formats, one per consumer class:
+
+- :func:`to_jsonl` — a JSON-lines event log (one span or event per
+  line), the greppable archive format;
+- :func:`to_chrome_trace` — the Chrome ``trace_event`` JSON object
+  format, loadable in ``chrome://tracing`` / Perfetto: complete
+  (``"ph": "X"``) events per span, instant events per span point, and
+  thread-name metadata per track so per-app trees render as lanes;
+- :func:`render_metrics_table` — the aggregate counters/histograms as
+  a fixed-width table for study summaries and reports.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.bus import ObservabilityBus
+from repro.obs.span import Span
+
+__all__ = [
+    "to_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "render_metrics_table",
+]
+
+_TRACE_PID = 1
+
+
+def to_jsonl(bus: ObservabilityBus) -> str:
+    """One JSON object per line: spans in open order, then root events,
+    then the metrics snapshot."""
+    def dump(payload: dict[str, Any]) -> str:
+        return json.dumps(payload, sort_keys=True, default=_json_safe)
+
+    lines: list[str] = []
+    for span in bus.spans:
+        lines.append(dump({"type": "span", **span.to_dict()}))
+    for event in bus.events:
+        lines.append(dump({"type": "event", **event.to_dict()}))
+    lines.append(dump({"type": "metrics", **bus.metrics.snapshot()}))
+    return "\n".join(lines) + "\n"
+
+
+def _track_ids(spans: list[Span]) -> dict[str, int]:
+    """Stable track → tid mapping, in order of first appearance."""
+    tids: dict[str, int] = {}
+    for span in spans:
+        if span.track not in tids:
+            tids[span.track] = len(tids) + 1
+    return tids
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value).hex()
+    return repr(value)
+
+
+def to_chrome_trace(bus: ObservabilityBus) -> dict[str, Any]:
+    """The ``trace_event`` JSON object format (timestamps in µs)."""
+    spans = bus.spans
+    tids = _track_ids(spans)
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _TRACE_PID,
+            "tid": 0,
+            "args": {"name": "wideleak-study"},
+        }
+    ]
+    for track, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _TRACE_PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for span in spans:
+        tid = tids[span.track]
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "pid": _TRACE_PID,
+                "tid": tid,
+                "ts": span.start_ns / 1000.0,
+                "dur": span.duration_ns / 1000.0,
+                "args": {k: _json_safe(v) for k, v in span.attrs.items()},
+            }
+        )
+        for point in span.points:
+            events.append(
+                {
+                    "name": point.name,
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _TRACE_PID,
+                    "tid": tid,
+                    "ts": point.ts_ns / 1000.0,
+                    "args": {k: _json_safe(v) for k, v in point.attrs.items()},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(bus: ObservabilityBus, path: str | Path) -> Path:
+    """Serialize :func:`to_chrome_trace` to *path*; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(bus), indent=2) + "\n")
+    return path
+
+
+def render_metrics_table(bus: ObservabilityBus) -> str:
+    """Counters and span-duration aggregates as a fixed-width table."""
+    lines: list[str] = []
+    counters = bus.metrics.counters()
+    if counters:
+        width = max(len(name) for name in counters)
+        lines.append(f"{'counter'.ljust(width)}  value")
+        lines.append(f"{'-' * width}  -----")
+        for name, value in counters.items():
+            lines.append(f"{name.ljust(width)}  {value}")
+    histograms = bus.metrics.histograms()
+    if histograms:
+        if lines:
+            lines.append("")
+        width = max(len(name) for name in histograms)
+        lines.append(
+            f"{'histogram'.ljust(width)}  {'count':>7s}  {'mean':>12s}  {'total':>12s}"
+        )
+        lines.append(f"{'-' * width}  {'-' * 7}  {'-' * 12}  {'-' * 12}")
+        for name, stat in histograms.items():
+            if name.startswith("span."):
+                mean = f"{stat.mean / 1e6:.3f}ms"
+                total = f"{stat.total / 1e6:.3f}ms"
+            else:
+                mean = f"{stat.mean:.1f}"
+                total = f"{stat.total:.1f}"
+            lines.append(
+                f"{name.ljust(width)}  {stat.count:>7d}  {mean:>12s}  {total:>12s}"
+            )
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Metrics registry of the observability bus.
+
+Two instrument kinds cover what the study needs:
+
+- **counters** — monotonically increasing integers (requests issued,
+  bytes moved, licenses granted, flow arrows drawn). Counter values are
+  a deterministic function of the pipeline, so a stable subset is wired
+  into ``StudyResult.summary()`` and must come out byte-identical across
+  sequential, parallel, cold and warm runs — the benchmarks assert it.
+- **histograms** — value distributions (span durations in nanoseconds,
+  payload sizes). Durations are real time and therefore *excluded* from
+  the study artifact; they feed the metrics table and the exporters.
+
+Registries are lock-guarded (the parallel runner's per-worker buses are
+merged through :meth:`MetricsRegistry.merge`, and a server handler runs
+on whatever worker thread carried the request in).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["HistogramStat", "MetricsRegistry"]
+
+
+@dataclass
+class HistogramStat:
+    """Aggregated distribution of one named value stream."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float | None = None
+    maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "HistogramStat") -> None:
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.minimum, other.maximum):
+            if bound is None:
+                continue
+            self.minimum = bound if self.minimum is None else min(self.minimum, bound)
+            self.maximum = bound if self.maximum is None else max(self.maximum, bound)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, safe for concurrent emission."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, HistogramStat] = {}
+
+    # -- emission ----------------------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            stat = self._histograms.get(name)
+            if stat is None:
+                stat = HistogramStat()
+                self._histograms[name] = stat
+            stat.observe(value)
+
+    # -- reading -----------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Sorted copy of every counter."""
+        with self._lock:
+            return dict(sorted(self._counters.items()))
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def histograms(self) -> dict[str, HistogramStat]:
+        with self._lock:
+            return dict(sorted(self._histograms.items()))
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "counters": self.counters(),
+            "histograms": {
+                name: stat.to_dict() for name, stat in self.histograms().items()
+            },
+        }
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry (a finished worker's) into this one."""
+        with other._lock:
+            counters = dict(other._counters)
+            histograms = {
+                name: (stat.count, stat.total, stat.minimum, stat.maximum)
+                for name, stat in other._histograms.items()
+            }
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, (count, total, minimum, maximum) in histograms.items():
+                stat = self._histograms.get(name)
+                if stat is None:
+                    stat = HistogramStat()
+                    self._histograms[name] = stat
+                stat.merge(
+                    HistogramStat(
+                        count=count, total=total, minimum=minimum, maximum=maximum
+                    )
+                )

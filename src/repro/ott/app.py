@@ -184,18 +184,19 @@ class OttApp:
     def _acquire_license(
         self, drm: MediaDrm, session_id: bytes, init_data: bytes
     ) -> list[bytes]:
-        request = self._get_key_request_provisioning(drm, session_id, init_data)
-        self.device.trace.record("Application", "License Server", "Get License")
-        response = self.http.post(
-            f"https://{self.profile.license_host}/license", request
-        )
-        if not response.ok:
-            raise LicenseDeniedError(response.body.decode())
-        self.device.trace.record("License Server", "Application", "License")
-        try:
-            return drm.provide_key_response(session_id, response.body)
-        except MediaDrmException as exc:
-            raise PlaybackError(f"license load failed: {exc}") from exc
+        with self.device.obs.span("license.exchange", app=self.profile.name):
+            request = self._get_key_request_provisioning(drm, session_id, init_data)
+            self.device.obs.flow("Application", "License Server", "Get License")
+            response = self.http.post(
+                f"https://{self.profile.license_host}/license", request
+            )
+            if not response.ok:
+                raise LicenseDeniedError(response.body.decode())
+            self.device.obs.flow("License Server", "Application", "License")
+            try:
+                return drm.provide_key_response(session_id, response.body)
+            except MediaDrmException as exc:
+                raise PlaybackError(f"license load failed: {exc}") from exc
 
     def _download(self, url: str) -> bytes:
         response = self.http.get(url)
@@ -208,6 +209,16 @@ class OttApp:
     # -- manifest retrieval ---------------------------------------------------------------
 
     def _fetch_manifest_url(self, drm: MediaDrm, title_id: str) -> str:
+        with self.device.obs.span(
+            "manifest.fetch", app=self.profile.name, title=title_id
+        ) as span:
+            url = self._fetch_manifest_url_inner(drm, title_id)
+            span.set(
+                secure_channel=self.profile.uri_protection == URI_SECURE_CHANNEL
+            )
+            return url
+
+    def _fetch_manifest_url_inner(self, drm: MediaDrm, title_id: str) -> str:
         token = self._require_token()
         base = (
             f"https://{self.profile.api_host}/playback"
@@ -243,6 +254,21 @@ class OttApp:
     # -- track playback ------------------------------------------------------------------------
 
     def _play_track(
+        self,
+        drm: MediaDrm,
+        session_id: bytes,
+        rep: MpdRepresentation,
+        kind: str,
+    ) -> TrackPlayback:
+        with self.device.obs.span(
+            "playback.track", kind=kind, rep=rep.rep_id
+        ) as span:
+            stats = self._play_track_inner(drm, session_id, rep, kind)
+            span.set(frames=stats.frames_total)
+            self.device.obs.count("playback.frames", stats.frames_total)
+            return stats
+
+    def _play_track_inner(
         self,
         drm: MediaDrm,
         session_id: bytes,
@@ -303,8 +329,28 @@ class OttApp:
         level = self.device.widevine_security_level
 
         if self.profile.custom_drm_on_l3 and level != "L1":
-            return self._play_custom(title_id, language, subtitle_language)
+            with self.device.obs.span(
+                "playback.session",
+                app=self.profile.name,
+                title=title_id,
+                drm="custom",
+            ):
+                return self._play_custom(title_id, language, subtitle_language)
 
+        with self.device.obs.span(
+            "playback.session",
+            app=self.profile.name,
+            title=title_id,
+            drm="widevine",
+        ) as span:
+            result = self._play_widevine(title_id, language, subtitle_language)
+            span.set(ok=result.ok)
+            return result
+
+    def _play_widevine(
+        self, title_id: str, language: str, subtitle_language: str | None
+    ) -> PlaybackResult:
+        level = self.device.widevine_security_level
         result = PlaybackResult(
             ok=False, title_id=title_id, used_widevine=True, security_level=level
         )
@@ -312,7 +358,7 @@ class OttApp:
         try:
             mpd_url = self._fetch_manifest_url(drm, title_id)
             mpd = Mpd.from_xml(self._download(mpd_url))
-            selector = TrackSelector(mpd)
+            selector = TrackSelector(mpd, obs=self.device.obs)
 
             video_rep = selector.select_video(
                 max_height=MAX_HEIGHT_BY_LEVEL.get(level, 540)
@@ -323,8 +369,8 @@ class OttApp:
             init_data = selector.init_data_for(video_rep)
             self._acquire_license(drm, session_id, init_data)
 
-            self.device.trace.record("Application", "CDN", "Get Media")
-            self.device.trace.record("CDN", "Application", "Media")
+            self.device.obs.flow("Application", "CDN", "Get Media")
+            self.device.obs.flow("CDN", "Application", "Media")
             result.tracks.append(
                 self._play_track(drm, session_id, video_rep, "video")
             )
@@ -379,7 +425,7 @@ class OttApp:
                 raise PlaybackError(response.body.decode())
             mpd_url = json.loads(response.body.decode())["mpd_url"]
             mpd = Mpd.from_xml(self._download(mpd_url))
-            selector = TrackSelector(mpd)
+            selector = TrackSelector(mpd, obs=self.device.obs)
 
             cdm = EmbeddedCdm(self.profile.service)
             license_response = self.http.post(

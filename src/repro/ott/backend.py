@@ -28,6 +28,7 @@ from repro.net.cdn import CdnServer
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.network import Network
 from repro.net.server import VirtualServer
+from repro.obs.bus import ObservabilityBus
 from repro.ott.custom_drm import (
     build_embedded_license,
     parse_embedded_license_request,
@@ -49,6 +50,8 @@ class OttBackend:
         profile: OttProfile,
         network: Network,
         authority: KeyboxAuthority,
+        *,
+        obs: "ObservabilityBus | None" = None,
     ):
         self.profile = profile
         self.policy = profile.policy()
@@ -105,6 +108,7 @@ class OttBackend:
             self.cdn,
             provider=profile.name,
             publish_key_ids=profile.key_metadata_available,
+            obs=obs,
         )
         before = segment_cache_stats()
         for title in self.catalog:

@@ -22,6 +22,7 @@ from repro.license_server.protocol import (
     ProtocolError,
     ProvisionRequest,
 )
+from repro.obs.bus import NULL_BUS, ObservabilityBus
 from repro.widevine.oemcrypto import (
     DecryptResult,
     NotProvisionedError,
@@ -58,10 +59,12 @@ class WidevineCdm:
         *,
         persistent_store: dict[str, bytes],
         device_model: str,
+        obs: ObservabilityBus | None = None,
     ):
         self._oc = oemcrypto
         self._store = persistent_store
         self._device_model = device_model
+        self.obs = obs if obs is not None else NULL_BUS
         self._sessions: dict[bytes, CdmSession] = {}
         # origin → oemcrypto session carrying the provisioning nonce.
         self._pending_provisioning: dict[str, bytes] = {}
@@ -104,32 +107,35 @@ class WidevineCdm:
 
     def get_provision_request(self, origin: str) -> bytes:
         """Build a keybox-authenticated provisioning request."""
-        oc_session = self._oc._oecc05_open_session()
-        nonce = self._oc._oecc08_generate_nonce(oc_session)
-        request = ProvisionRequest(
-            device_id=self._oc._oecc13_get_device_id(),
-            nonce=nonce,
-            cdm_version=self.cdm_version,
-            security_level=self.security_level,
-        )
-        payload = request.signing_payload()
-        self._oc._oecc07_generate_derived_keys(oc_session, payload)
-        request.mac = self._oc._oecc09_generate_signature(oc_session, payload)
-        self._pending_provisioning[origin] = oc_session
-        return request.serialize()
+        with self.obs.span("cdm.provision.request", origin=origin):
+            oc_session = self._oc._oecc05_open_session()
+            nonce = self._oc._oecc08_generate_nonce(oc_session)
+            request = ProvisionRequest(
+                device_id=self._oc._oecc13_get_device_id(),
+                nonce=nonce,
+                cdm_version=self.cdm_version,
+                security_level=self.security_level,
+            )
+            payload = request.signing_payload()
+            self._oc._oecc07_generate_derived_keys(oc_session, payload)
+            request.mac = self._oc._oecc09_generate_signature(oc_session, payload)
+            self._pending_provisioning[origin] = oc_session
+            return request.serialize()
 
     def provide_provision_response(self, origin: str, response: bytes) -> None:
         """Unwrap the device RSA key and persist it for *origin*."""
-        oc_session = self._pending_provisioning.pop(origin, None)
-        if oc_session is None:
-            raise CdmError(f"no provisioning in flight for origin {origin!r}")
-        try:
-            storage_blob = self._oc._oecc21_rewrap_device_rsa_key(
-                oc_session, response
-            )
-        finally:
-            self._oc._oecc06_close_session(oc_session)
-        self._store[self._storage_key(origin)] = storage_blob
+        with self.obs.span("cdm.provision.load", origin=origin):
+            oc_session = self._pending_provisioning.pop(origin, None)
+            if oc_session is None:
+                raise CdmError(f"no provisioning in flight for origin {origin!r}")
+            try:
+                storage_blob = self._oc._oecc21_rewrap_device_rsa_key(
+                    oc_session, response
+                )
+            finally:
+                self._oc._oecc06_close_session(oc_session)
+            self._store[self._storage_key(origin)] = storage_blob
+            self.obs.count("cdm.provisionings")
 
     def _load_rsa_key(self, origin: str) -> None:
         blob = self._store.get(self._storage_key(origin))
@@ -142,6 +148,12 @@ class WidevineCdm:
     def get_key_request(self, session_id: bytes, init_data: bytes) -> bytes:
         """Build a signed license request for PSSH *init_data*."""
         session = self._session(session_id)
+        with self.obs.span("cdm.key_request", origin=session.origin):
+            return self._get_key_request(session, session_id, init_data)
+
+    def _get_key_request(
+        self, session: CdmSession, session_id: bytes, init_data: bytes
+    ) -> bytes:
         self._load_rsa_key(session.origin)
         nonce = self._oc._oecc08_generate_nonce(session_id)
         request = LicenseRequest(
@@ -162,23 +174,32 @@ class WidevineCdm:
         return request.serialize()
 
     def provide_key_response(self, session_id: bytes, response: bytes) -> list[bytes]:
-        """Load a license; returns the key IDs now usable for decrypt."""
+        """Load a license; returns the key IDs now usable for decrypt.
+
+        The key-ladder phase: unwrap the session key under the device
+        RSA key, verify the license MAC, then load the content keys —
+        all inside one ``cdm.load_keys`` span so hooks and the trace
+        agree on where ladder time goes.
+        """
         session = self._session(session_id)
-        try:
-            parsed = LicenseResponse.parse(response)
-        except ProtocolError as exc:
-            raise CdmError(f"bad license response: {exc}") from exc
-        if parsed.session_id != session_id:
-            raise CdmError("license is for another session")
-        if session.pending_request_payload is None:
-            raise CdmError("no license request in flight for this session")
-        if parsed.derivation_context != session.pending_request_payload:
-            raise CdmError("license derivation context mismatch")
-        self._load_rsa_key(session.origin)
-        loaded = self._oc._oecc10_load_keys(session_id, response)
-        session.loaded_key_ids = loaded
-        session.pending_request_payload = None
-        return loaded
+        with self.obs.span("cdm.load_keys", origin=session.origin) as span:
+            try:
+                parsed = LicenseResponse.parse(response)
+            except ProtocolError as exc:
+                raise CdmError(f"bad license response: {exc}") from exc
+            if parsed.session_id != session_id:
+                raise CdmError("license is for another session")
+            if session.pending_request_payload is None:
+                raise CdmError("no license request in flight for this session")
+            if parsed.derivation_context != session.pending_request_payload:
+                raise CdmError("license derivation context mismatch")
+            self._load_rsa_key(session.origin)
+            loaded = self._oc._oecc10_load_keys(session_id, response)
+            session.loaded_key_ids = loaded
+            session.pending_request_payload = None
+            span.set(keys=len(loaded))
+            self.obs.count("cdm.licenses_loaded")
+            return loaded
 
     # -- offline licenses ---------------------------------------------------------
 
@@ -197,15 +218,16 @@ class WidevineCdm:
         the device RSA key, unwrap, verify the MAC, load the keys.
         """
         session = self._session(session_id)
-        blob = self._store.get(
-            f"widevine/keyset/{session.origin}/{key_set_id.hex()}"
-        )
-        if blob is None:
-            raise CdmError(f"unknown key set {key_set_id.hex()}")
-        self._load_rsa_key(session.origin)
-        loaded = self._oc._oecc10_load_keys(session_id, blob)
-        session.loaded_key_ids = loaded
-        return loaded
+        with self.obs.span("cdm.restore_keys", origin=session.origin):
+            blob = self._store.get(
+                f"widevine/keyset/{session.origin}/{key_set_id.hex()}"
+            )
+            if blob is None:
+                raise CdmError(f"unknown key set {key_set_id.hex()}")
+            self._load_rsa_key(session.origin)
+            loaded = self._oc._oecc10_load_keys(session_id, blob)
+            session.loaded_key_ids = loaded
+            return loaded
 
     def remove_offline_license(self, origin: str, key_set_id: bytes) -> None:
         self._store.pop(f"widevine/keyset/{origin}/{key_set_id.hex()}", None)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.bmff.pssh import WIDEVINE_SYSTEM_ID
+from repro.obs.bus import ObservabilityBus
 from repro.widevine.cdm import WidevineCdm
 from repro.widevine.keybox import Keybox
 from repro.widevine.oemcrypto import OemCrypto
@@ -40,6 +41,7 @@ class WidevineHalPlugin:
         serial: str,
         clock=None,
         engine_module_name: str = "libwvdrmengine.so",
+        obs: ObservabilityBus | None = None,
     ):
         self.security_level = "L1" if has_tee else "L3"
         if has_tee:
@@ -59,6 +61,7 @@ class WidevineHalPlugin:
             self.oemcrypto,
             persistent_store=persistent_store,
             device_model=device_model,
+            obs=obs,
         )
 
         process.load_module(engine_module_name, self)

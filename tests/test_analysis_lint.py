@@ -9,7 +9,14 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis.lint import RULE_IDS, lint_file, lint_paths, lint_source
+from repro.analysis.lint import (
+    RULE_IDS,
+    lint_file,
+    lint_paths,
+    lint_paths_report,
+    lint_source,
+    lint_source_report,
+)
 
 REPO = Path(__file__).resolve().parent.parent
 FIXTURES = REPO / "tests" / "fixtures" / "lint"
@@ -106,6 +113,92 @@ class TestRuleSemantics:
         assert violations[0].line < violations[1].line
 
 
+class TestSuppressions:
+    """`# lint: allow(RULE123) <reason>` comments waive one rule on one
+    line — and every waiver is recorded in the report."""
+
+    CLOCK_LINE = "import time\ndef now():\n    return time.time()"
+
+    def test_same_line_suppression(self):
+        source = (
+            "import time\n"
+            "def now():\n"
+            "    return time.time()  # lint: allow(CLK003) bench needs wall time\n"
+        )
+        report = lint_source_report(source)
+        assert report.violations == []
+        assert [s.suppression.rule for s in report.suppressed] == ["CLK003"]
+        assert report.suppressed[0].suppression.reason == "bench needs wall time"
+
+    def test_preceding_comment_line_suppression(self):
+        source = (
+            "import time\n"
+            "def now():\n"
+            "    # lint: allow(CLK003) bench needs wall time\n"
+            "    return time.time()\n"
+        )
+        report = lint_source_report(source)
+        assert report.violations == []
+        assert len(report.suppressed) == 1
+
+    def test_reason_is_mandatory(self):
+        source = (
+            "import time\n"
+            "def now():\n"
+            "    return time.time()  # lint: allow(CLK003)\n"
+        )
+        report = lint_source_report(source)
+        assert [v.rule for v in report.violations] == ["CLK003"]
+        assert report.suppressed == []
+
+    def test_wrong_rule_does_not_suppress(self):
+        source = (
+            "import time\n"
+            "def now():\n"
+            "    return time.time()  # lint: allow(RNG002) wrong rule\n"
+        )
+        report = lint_source_report(source)
+        assert [v.rule for v in report.violations] == ["CLK003"]
+
+    def test_suppression_is_line_scoped(self):
+        """A waiver on one line does not bless the rule elsewhere."""
+        source = (
+            "import time\n"
+            "def a():\n"
+            "    return time.time()  # lint: allow(CLK003) measured on purpose\n"
+            "def b():\n"
+            "    return time.time()\n"
+        )
+        report = lint_source_report(source)
+        assert [v.rule for v in report.violations] == ["CLK003"]
+        assert report.violations[0].line == 5
+        assert len(report.suppressed) == 1
+
+    def test_legacy_lint_source_filters_suppressed(self):
+        source = (
+            "import time\n"
+            "def now():\n"
+            "    return time.time()  # lint: allow(CLK003) justified\n"
+        )
+        assert lint_source(source) == []
+
+    def test_shipped_tree_suppressions_are_recorded(self):
+        """The bus's wall-clock read is waived in place, not invisible."""
+        report = lint_paths_report([REPO / "src" / "repro"])
+        assert report.violations == []
+        waived = {
+            (Path(s.violation.path).name, s.suppression.rule)
+            for s in report.suppressed
+        }
+        assert ("bus.py", "CLK003") in waived
+
+    def test_aliased_clock_reference_is_flagged(self):
+        """CLK003 catches bare references too — aliasing the clock
+        function dodges the rule as effectively as calling it."""
+        source = "import time\nclock = time.perf_counter_ns\n"
+        assert [v.rule for v in lint_source(source)] == ["CLK003"]
+
+
 class TestCliTool:
     def _run(self, *args: str) -> subprocess.CompletedProcess:
         return subprocess.run(
@@ -128,3 +221,15 @@ class TestCliTool:
     def test_exit_two_on_missing_path(self):
         result = self._run("does/not/exist")
         assert result.returncode == 2
+
+    def test_suppressions_shown_in_clean_output(self, tmp_path):
+        waived = tmp_path / "waived.py"
+        waived.write_text(
+            "import time\n"
+            "def now():\n"
+            "    return time.time()  # lint: allow(CLK003) timing harness\n"
+        )
+        result = self._run(str(waived))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "suppressed" in result.stdout
+        assert "timing harness" in result.stdout

@@ -1,0 +1,222 @@
+"""The observability bus: span nesting, ordering determinism, flow
+fan-out, merging, and the zero-overhead disabled mode."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.android.trace import FlowTrace
+from repro.obs.bus import NULL_BUS, ObservabilityBus
+from repro.obs.span import NULL_SPAN, structural_tree
+
+
+class FakeClock:
+    """Deterministic monotonic nanosecond clock for tests."""
+
+    def __init__(self) -> None:
+        self.now = 0
+
+    def __call__(self) -> int:
+        self.now += 1000
+        return self.now
+
+
+@pytest.fixture
+def bus() -> ObservabilityBus:
+    return ObservabilityBus(clock=FakeClock())
+
+
+class TestSpanNesting:
+    def test_children_link_to_the_enclosing_span(self, bus):
+        with bus.span("study.app", app="Netflix") as root:
+            with bus.span("license.exchange") as child:
+                with bus.span("http.request") as grandchild:
+                    pass
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+
+    def test_current_span_tracks_the_stack(self, bus):
+        assert bus.current_span() is None
+        with bus.span("outer") as outer:
+            assert bus.current_span() is outer
+            with bus.span("inner") as inner:
+                assert bus.current_span() is inner
+            assert bus.current_span() is outer
+        assert bus.current_span() is None
+
+    def test_siblings_share_a_parent(self, bus):
+        with bus.span("root") as root:
+            with bus.span("a") as a:
+                pass
+            with bus.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert bus.trees() == [("root", (), (("a", (), ()), ("b", (), ())))]
+
+    def test_exception_unwinds_and_still_closes(self, bus):
+        with pytest.raises(RuntimeError):
+            with bus.span("outer"):
+                with bus.span("inner"):
+                    raise RuntimeError("boom")
+        assert bus.current_span() is None
+        assert all(s.end_ns is not None for s in bus.spans)
+
+    def test_root_span_track_comes_from_app_attr(self, bus):
+        with bus.span("study.app", app="Hulu"):
+            with bus.span("http.request") as child:
+                pass
+        assert bus.spans[0].track == "Hulu"
+        assert child.track == "Hulu"
+
+    def test_span_events_attach_to_their_span(self, bus):
+        with bus.span("playback") as span:
+            span.event("frame", n=1)
+            bus.event("on-current-span")
+        assert [p.name for p in bus.spans[0].points] == [
+            "frame",
+            "on-current-span",
+        ]
+
+    def test_root_event_without_open_span(self, bus):
+        bus.event("orphan", reason="no span open")
+        assert [e.name for e in bus.events] == ["orphan"]
+
+
+class TestOrderingDeterminism:
+    def _run_pipeline(self, bus):
+        with bus.span("study.app", app="Netflix"):
+            with bus.span("manifest.fetch") as m:
+                m.event("dash.select_video", rep="v1080")
+            with bus.span("license.exchange"):
+                bus.count("license.issued")
+            bus.observe("frames", 24)
+
+    def test_identical_runs_record_identically(self):
+        first = ObservabilityBus(clock=FakeClock())
+        second = ObservabilityBus(clock=FakeClock())
+        self._run_pipeline(first)
+        self._run_pipeline(second)
+        assert [s.to_dict() for s in first.spans] == [
+            s.to_dict() for s in second.spans
+        ]
+        assert first.metrics.snapshot() == second.metrics.snapshot()
+
+    def test_structure_is_clock_independent(self):
+        wall = ObservabilityBus()  # real perf_counter_ns timestamps
+        fake = ObservabilityBus(clock=FakeClock())
+        self._run_pipeline(wall)
+        self._run_pipeline(fake)
+        assert wall.trees() == fake.trees()
+        assert wall.span_names() == fake.span_names()
+
+    def test_span_ids_are_dense_and_start_ordered(self, bus):
+        self._run_pipeline(bus)
+        assert [s.span_id for s in bus.spans] == [1, 2, 3]
+        starts = [s.start_ns for s in bus.spans]
+        assert starts == sorted(starts)
+
+
+class TestFlowArrows:
+    def test_flow_fans_out_to_consumers(self, bus):
+        seen: list[tuple[str, str, str]] = []
+        bus.add_flow_consumer(lambda s, t, label: seen.append((s, t, label)))
+        bus.flow("Application", "CDM", "Decrypt()")
+        assert seen == [("Application", "CDM", "Decrypt()")]
+        assert bus.metrics.counters()["flow.arrows"] == 1
+
+    def test_disabled_bus_still_delivers_flows(self):
+        """The pre-bus FlowTrace contract: Figure 1 regeneration works
+        with observation off."""
+        disabled = ObservabilityBus(enabled=False)
+        trace = FlowTrace()
+        disabled.add_flow_consumer(trace.record)
+        disabled.flow("Application", "CDM", "Decrypt()")
+        assert trace.labels() == [("Application", "CDM", "Decrypt()")]
+        assert disabled.events == []
+        assert disabled.metrics.counters() == {}
+
+
+class TestDisabledBusIsFree:
+    def test_span_returns_the_shared_null_span(self):
+        disabled = ObservabilityBus(enabled=False)
+        assert disabled.span("anything", app="x") is NULL_SPAN
+        assert NULL_BUS.span("anything") is NULL_SPAN
+
+    def test_null_span_handle_is_inert(self):
+        with NULL_BUS.span("x") as span:
+            span.set(a=1).event("e", b=2)
+        assert NULL_BUS.spans == []
+
+    def test_nothing_is_recorded(self):
+        disabled = ObservabilityBus(enabled=False)
+        with disabled.span("s"):
+            disabled.event("e")
+            disabled.count("c")
+            disabled.observe("h", 1.0)
+        assert disabled.spans == []
+        assert disabled.events == []
+        assert disabled.metrics.snapshot() == {
+            "counters": {},
+            "histograms": {},
+        }
+
+
+class TestMergeAndLifecycle:
+    def test_absorb_remaps_ids_and_keeps_trees(self):
+        study = ObservabilityBus(clock=FakeClock())
+        with study.span("study.setup"):
+            pass
+        worker_trees = []
+        workers = []
+        for app in ("Netflix", "Hulu"):
+            worker = ObservabilityBus(clock=FakeClock())
+            with worker.span("study.app", app=app):
+                with worker.span("license.exchange"):
+                    pass
+            worker_trees.extend(worker.trees())
+            workers.append(worker)
+        for worker in workers:
+            study.absorb(worker)
+        assert study.trees() == [("study.setup", (), ())] + worker_trees
+        ids = [s.span_id for s in study.spans]
+        assert len(ids) == len(set(ids)) == 5
+        assert study.metrics.histograms()["span.license.exchange"].count == 2
+        study.absorb(study)  # self-absorb is a no-op
+        assert len(study.spans) == 5
+
+    def test_clear_drops_data_but_keeps_consumers(self, bus):
+        seen: list[tuple[str, str, str]] = []
+        bus.add_flow_consumer(lambda s, t, label: seen.append((s, t, label)))
+        with bus.span("s"):
+            bus.flow("a", "b", "c")
+        bus.clear()
+        assert bus.spans == []
+        assert bus.events == []
+        bus.flow("d", "e", "f")
+        assert seen == [("a", "b", "c"), ("d", "e", "f")]
+
+
+class TestFlowTraceLocking:
+    def test_concurrent_records_are_all_kept(self):
+        trace = FlowTrace()
+        barrier = threading.Barrier(8)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for i in range(100):
+                trace.record(f"w{worker}", "sink", f"msg{i}")
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(trace.labels()) == 800
+        trace.clear()
+        assert trace.labels() == []

@@ -16,7 +16,7 @@ from pathlib import Path
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 
-from repro.analysis.lint import lint_paths  # noqa: E402
+from repro.analysis.lint import lint_paths_report  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -26,13 +26,18 @@ def main(argv: list[str] | None = None) -> int:
         if not path.exists():
             print(f"lint_repro: no such path: {path}", file=sys.stderr)
             return 2
-    violations = lint_paths(list(paths))
-    for violation in violations:
+    report = lint_paths_report(list(paths))
+    for violation in report.violations:
         print(violation)
-    if violations:
-        print(f"{len(violations)} violation(s)")
+    for suppressed in report.suppressed:
+        print(suppressed)
+    if report.violations:
+        print(f"{len(report.violations)} violation(s)")
         return 1
-    print("lint_repro: clean")
+    if report.suppressed:
+        print(f"lint_repro: clean ({len(report.suppressed)} suppression(s))")
+    else:
+        print("lint_repro: clean")
     return 0
 
 
