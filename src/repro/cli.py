@@ -8,6 +8,8 @@
     wideleak attack <app>        run the §IV-D key-ladder attack
     wideleak attack-all          the full §IV-D sweep
     wideleak trace [--app <app>] record a run and export a Chrome trace
+    wideleak trace --diff A B    per-span-name deltas between two traces
+    wideleak profile             critical paths, self-time, flame graph
     wideleak list-apps           show the evaluated services
 
 Also runnable as ``python -m repro <command>``.
@@ -20,9 +22,21 @@ import sys
 
 from repro.core.report import EXPECTED_PAPER_TABLE, TableOne
 from repro.core.study import WideLeakStudy
+from repro.ott.profile import OttProfile
 from repro.ott.registry import ALL_PROFILES, profile_by_name
 
 __all__ = ["main", "build_parser"]
+
+
+def _resolve_app(name: str) -> OttProfile | None:
+    """Look an app up for trace/profile; on a miss, print one line
+    naming the valid apps (the caller exits with code 2)."""
+    try:
+        return profile_by_name(name)
+    except KeyError:
+        valid = ", ".join(profile.name for profile in ALL_PROFILES)
+        print(f"unknown app {name!r} — valid apps: {valid}", file=sys.stderr)
+        return None
 
 
 def _positive_int(text: str) -> int:
@@ -85,10 +99,17 @@ def build_parser() -> argparse.ArgumentParser:
     attack = sub.add_parser("attack", help="run the key-ladder attack on one app")
     attack.add_argument("app", help='display name, e.g. "Showtime"')
 
+    rate_help = (
+        "head-based sampling rate 1/N: keep 1-in-N app span trees whole "
+        "(default 1/1: record everything; counters stay exact at any rate)"
+    )
+    seed_help = "sampling seed (default 0); same seed + rate = same kept trees"
+
     trace = sub.add_parser(
         "trace",
         help="run the study with the observability bus recording and "
-        "export a Chrome trace_event JSON (chrome://tracing / Perfetto)",
+        "export a Chrome trace_event JSON (chrome://tracing / Perfetto); "
+        "--diff compares two recorded traces instead",
     )
     trace.add_argument(
         "--app",
@@ -100,6 +121,52 @@ def build_parser() -> argparse.ArgumentParser:
         default="trace.json",
         metavar="PATH",
         help="output path for the Chrome trace (default: trace.json)",
+    )
+    trace.add_argument("--rate", default="1/1", metavar="1/N", help=rate_help)
+    trace.add_argument("--seed", type=int, default=0, help=seed_help)
+    trace.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        help="compare two trace files (JSONL, Chrome trace_event, or "
+        "BENCH_study.json) and report per-span count/duration deltas; "
+        "exits 1 when a delta exceeds the regression threshold",
+    )
+    trace.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="regression threshold for --diff as a fraction "
+        "(default 0.25 = flag spans that got more than 25%% slower)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run the study and print its trace analytics: per-app "
+        "critical paths, a self-time top-N table, and (with --flame) a "
+        "collapsed-stack flame graph for flamegraph.pl / speedscope",
+    )
+    profile.add_argument(
+        "--app",
+        help='profile a single app, e.g. "netflix" (default: the full study)',
+    )
+    profile.add_argument("--rate", default="1/1", metavar="1/N", help=rate_help)
+    profile.add_argument("--seed", type=int, default=0, help=seed_help)
+    profile.add_argument(
+        "--flame",
+        metavar="OUT",
+        help="write the collapsed-stack flame graph to this path",
+    )
+    profile.add_argument(
+        "--top",
+        type=_positive_int,
+        default=15,
+        metavar="N",
+        help="rows in the self-time table (default 15)",
+    )
+    profile.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N", help=jobs_help
     )
 
     return parser
@@ -251,24 +318,91 @@ def _cmd_lint(paths: list[str]) -> int:
     return 0
 
 
-def _cmd_trace(app_name: str | None, out: str) -> int:
+def _describe_sampling(snapshot: dict) -> str:
+    roots = snapshot["sampled_roots"] + snapshot["dropped_roots"]
+    return (
+        f"sampling {snapshot['rate']} (seed {snapshot['seed']}): kept "
+        f"{snapshot['sampled_roots']} of {roots} root span trees, dropped "
+        f"{snapshot['dropped_spans']} spans, recorded "
+        f"{snapshot['recorded_spans']}"
+    )
+
+
+def _cmd_trace_diff(old: str, new: str, threshold: float) -> int:
+    from repro.obs.profile import diff_traces, load_trace_profile
+
+    try:
+        old_profile = load_trace_profile(old)
+        new_profile = load_trace_profile(new)
+    except (OSError, ValueError) as exc:
+        print(f"trace --diff: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_traces(old_profile, new_profile, threshold=threshold)
+    print(f"trace diff: {old} -> {new}")
+    print(diff.render())
+    return 1 if diff.regressions() else 0
+
+
+def _sampler_or_none(rate: str, seed: int):
+    from repro.obs.sampling import TraceSampler
+
+    try:
+        return TraceSampler.from_rate(rate, seed=seed)
+    except ValueError as exc:
+        print(f"--rate: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.export import render_metrics_table, write_chrome_trace
 
-    study = WideLeakStudy.with_default_apps()
-    if app_name is None:
+    if args.diff is not None:
+        return _cmd_trace_diff(args.diff[0], args.diff[1], args.threshold)
+
+    sampler = _sampler_or_none(args.rate, args.seed)
+    if sampler is None:
+        return 2
+    study = WideLeakStudy.with_default_apps(sampler=sampler)
+    if args.app is None:
         study.run()
     else:
-        try:
-            profile = profile_by_name(app_name)
-        except KeyError as exc:
-            print(exc.args[0])
+        profile = _resolve_app(args.app)
+        if profile is None:
             return 2
         study.study_app(profile)
-    path = write_chrome_trace(study.obs, out)
+    path = write_chrome_trace(study.obs, args.out)
     spans = len(study.obs.spans)
     print(f"wrote {path} ({spans} spans) — load in chrome://tracing or Perfetto")
+    print(_describe_sampling(study.obs.sampling_snapshot()))
     print()
     print(render_metrics_table(study.obs))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.parallel import ParallelStudyRunner
+    from repro.obs.profile import render_profile, write_flame_graph
+
+    sampler = _sampler_or_none(args.rate, args.seed)
+    if sampler is None:
+        return 2
+    study = WideLeakStudy.with_default_apps(sampler=sampler)
+    if args.app is None:
+        ParallelStudyRunner(study, jobs=args.jobs).run()
+    else:
+        profile = _resolve_app(args.app)
+        if profile is None:
+            return 2
+        study.study_app(profile)
+    print(render_profile(study.obs, top=args.top))
+    print()
+    print(_describe_sampling(study.obs.sampling_snapshot()))
+    if args.flame is not None:
+        path = write_flame_graph(study.obs, args.flame)
+        print(
+            f"wrote {path} (collapsed stacks) — feed to flamegraph.pl or "
+            "drop onto https://speedscope.app"
+        )
     return 0
 
 
@@ -324,7 +458,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "lint":
         return _cmd_lint(args.paths)
     if args.command == "trace":
-        return _cmd_trace(args.app, args.out)
+        return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "attack":
         return _cmd_attack(args.app)
     if args.command == "attack-all":

@@ -66,8 +66,12 @@ class DeviceSession:
         # the session's devices, never through thread-locals. Folded
         # back into the study's bus in profile order once the worker's
         # task resolves, so the merged recording matches the sequential
-        # run span-for-span.
-        self.obs = ObservabilityBus(enabled=study.obs.enabled)
+        # run span-for-span. The study's sampler is shared (decisions
+        # are a pure function of the root identity), so sampling keeps
+        # the same app trees under any jobs count.
+        self.obs = ObservabilityBus(
+            enabled=study.obs.enabled, sampler=study.obs.sampler
+        )
         self.l1_device: AndroidDevice = pixel_6(
             study.network, study.authority, obs=self.obs
         )

@@ -48,6 +48,7 @@ from repro.license_server.provisioning import KeyboxAuthority
 from repro.media.player import AssetStatus
 from repro.net.network import Network
 from repro.obs.bus import ObservabilityBus
+from repro.obs.sampling import TraceSampler
 from repro.ott.app import OttApp
 from repro.ott.backend import OttBackend
 from repro.ott.profile import OttProfile
@@ -233,12 +234,20 @@ class WideLeakStudy:
         profiles: tuple[OttProfile, ...] | None = None,
         *,
         obs: ObservabilityBus | None = None,
+        sampler: TraceSampler | None = None,
     ):
         self.profiles = profiles if profiles is not None else ALL_PROFILES
         # One bus for the whole (sequential) study: world construction,
         # packaging, every per-app pipeline. The parallel runner gives
-        # each worker session its own bus and merges them back here.
-        self.obs = obs if obs is not None else ObservabilityBus()
+        # each worker session its own bus — sharing this bus's sampler,
+        # so every worker makes identical keep/drop decisions — and
+        # merges them back here.
+        if obs is not None and sampler is not None:
+            raise ValueError(
+                "pass either a bus (which carries its own sampler) or a "
+                "sampler, not both"
+            )
+        self.obs = obs if obs is not None else ObservabilityBus(sampler=sampler)
         self.network = Network()
         self.authority = KeyboxAuthority()
         self.backends: dict[str, OttBackend] = {
@@ -259,10 +268,13 @@ class WideLeakStudy:
 
     @classmethod
     def with_default_apps(
-        cls, *, obs: ObservabilityBus | None = None
+        cls,
+        *,
+        obs: ObservabilityBus | None = None,
+        sampler: TraceSampler | None = None,
     ) -> "WideLeakStudy":
         """The paper's setup: all ten premium OTT apps."""
-        return cls(obs=obs)
+        return cls(obs=obs, sampler=sampler)
 
     # -- single-app pipeline ---------------------------------------------------
 

@@ -25,6 +25,14 @@ A disabled bus (``ObservabilityBus(enabled=False)``) is a no-op: spans
 return the shared :data:`~repro.obs.span.NULL_SPAN`, events and metrics
 vanish, and only flow arrows still reach their consumers (that is the
 pre-bus ``FlowTrace`` contract, which Figure 1 regeneration relies on).
+
+A **sampled** bus (``ObservabilityBus(sampler=TraceSampler(4))``) sits
+between those extremes: when a root span opens, the sampler makes one
+deterministic keep/drop decision and the whole tree inherits it —
+dropped trees still time their spans (histograms stay exact) and still
+count (counters stay exact), but their span records are never stored.
+The kept/dropped tally is exported via :meth:`sampling_snapshot` so a
+truncated trace is never silent about it.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ import time
 from typing import Any, Callable
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampling import TraceSampler
 from repro.obs.span import NULL_SPAN, Span, SpanPoint, structural_tree
 
 __all__ = ["ObservabilityBus", "NULL_BUS", "FlowConsumer"]
@@ -49,8 +58,13 @@ class ObservabilityBus:
         *,
         enabled: bool = True,
         clock: Callable[[], int] | None = None,
+        sampler: TraceSampler | None = None,
     ):
         self.enabled = enabled
+        # Head-based sampler, shared (not copied) by every worker bus so
+        # all buses compute identical per-root decisions. None = record
+        # every tree.
+        self.sampler = sampler
         # Span timing is wall-clock by design: traces measure where real
         # time goes. Determinism holds structurally — tests compare span
         # trees and counters, never timestamps.
@@ -61,6 +75,9 @@ class ObservabilityBus:
         self._events: list[SpanPoint] = []
         self._flow_consumers: list[FlowConsumer] = []
         self._next_id = 1
+        self._sampled_roots = 0
+        self._dropped_roots = 0
+        self._dropped_spans = 0
         self.metrics = MetricsRegistry()
 
     # -- spans -------------------------------------------------------------
@@ -78,19 +95,34 @@ class ObservabilityBus:
             parent = self._stack[-1] if self._stack else None
             if parent is None:
                 track = str(attrs.get("app", name))
+                # The head-based decision: made exactly once, here, and
+                # inherited by every descendant — a tree is recorded
+                # whole or not at all.
+                sampled = self.sampler is None or self.sampler.keep(name, attrs)
+                if sampled:
+                    self._sampled_roots += 1
+                else:
+                    self._dropped_roots += 1
             else:
                 track = parent.track
+                sampled = parent.sampled
             span = Span(
                 name=name,
-                span_id=self._next_id,
+                # Dropped spans are never stored, so only kept spans
+                # consume ids — exported ids stay dense at any rate.
+                span_id=self._next_id if sampled else 0,
                 parent_id=None if parent is None else parent.span_id,
                 track=track,
                 start_ns=now,
                 attrs=dict(attrs),
+                sampled=sampled,
             )
             span._bus = self
-            self._next_id += 1
-            self._spans.append(span)
+            if sampled:
+                self._next_id += 1
+                self._spans.append(span)
+            else:
+                self._dropped_spans += 1
             self._stack.append(span)
         return span
 
@@ -108,7 +140,15 @@ class ObservabilityBus:
                         top.end_ns = now
                     if top is span:
                         break
-        self.metrics.observe(f"span.{span.name}", span.duration_ns)
+        # Dropped spans still observe their duration — sampling trades
+        # away span *records*, never histogram or counter exactness —
+        # but only recorded spans donate exemplars, so the span-id link
+        # in the metrics table can always be followed into the trace.
+        self.metrics.observe(
+            f"span.{span.name}",
+            span.duration_ns,
+            exemplar=span.span_id if span.sampled else None,
+        )
 
     def _point(self, span: Span, name: str, attrs: dict[str, Any]) -> None:
         if not self.enabled:
@@ -183,6 +223,19 @@ class ObservabilityBus:
         :func:`~repro.obs.span.structural_tree`)."""
         return structural_tree(self.spans)
 
+    def sampling_snapshot(self) -> dict[str, Any]:
+        """What head-based sampling kept and dropped — embedded in both
+        exporters so trace truncation is never silent."""
+        with self._lock:
+            return {
+                "rate": "1/1" if self.sampler is None else self.sampler.rate,
+                "seed": 0 if self.sampler is None else self.sampler.seed,
+                "sampled_roots": self._sampled_roots,
+                "dropped_roots": self._dropped_roots,
+                "dropped_spans": self._dropped_spans,
+                "recorded_spans": len(self._spans),
+            }
+
     # -- lifecycle ---------------------------------------------------------
 
     def clear(self) -> None:
@@ -192,6 +245,9 @@ class ObservabilityBus:
             self._stack.clear()
             self._events.clear()
             self._next_id = 1
+            self._sampled_roots = 0
+            self._dropped_roots = 0
+            self._dropped_spans = 0
         self.metrics = MetricsRegistry()
 
     def absorb(self, other: "ObservabilityBus") -> None:
@@ -199,7 +255,9 @@ class ObservabilityBus:
 
         Span ids are remapped past this bus's id space so trees stay
         intact; called in profile order by the parallel runner, which
-        keeps the merged artifact deterministic.
+        keeps the merged artifact deterministic. Histogram exemplars
+        are shifted by the same offset, and the worker's sampling tally
+        is added so the merged export still reports every dropped span.
         """
         if other is self:
             return
@@ -207,6 +265,9 @@ class ObservabilityBus:
             spans = list(other._spans)
             events = list(other._events)
             id_span = other._next_id
+            sampled_roots = other._sampled_roots
+            dropped_roots = other._dropped_roots
+            dropped_spans = other._dropped_spans
         with self._lock:
             offset = self._next_id - 1
             for span in spans:
@@ -217,7 +278,10 @@ class ObservabilityBus:
             self._spans.extend(spans)
             self._events.extend(events)
             self._next_id = id_span + offset
-        self.metrics.merge(other.metrics)
+            self._sampled_roots += sampled_roots
+            self._dropped_roots += dropped_roots
+            self._dropped_spans += dropped_spans
+        self.metrics.merge(other.metrics, exemplar_offset=offset)
 
 
 NULL_BUS = ObservabilityBus(enabled=False)

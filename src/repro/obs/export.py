@@ -33,7 +33,9 @@ _TRACE_PID = 1
 
 def to_jsonl(bus: ObservabilityBus) -> str:
     """One JSON object per line: spans in open order, then root events,
-    then the metrics snapshot."""
+    then the metrics snapshot, then the sampling record (what
+    head-based sampling kept and dropped — truncation is never
+    silent)."""
     def dump(payload: dict[str, Any]) -> str:
         return json.dumps(payload, sort_keys=True, default=_json_safe)
 
@@ -43,6 +45,7 @@ def to_jsonl(bus: ObservabilityBus) -> str:
     for event in bus.events:
         lines.append(dump({"type": "event", **event.to_dict()}))
     lines.append(dump({"type": "metrics", **bus.metrics.snapshot()}))
+    lines.append(dump({"type": "sampling", **bus.sampling_snapshot()}))
     return "\n".join(lines) + "\n"
 
 
@@ -74,7 +77,16 @@ def to_chrome_trace(bus: ObservabilityBus) -> dict[str, Any]:
             "pid": _TRACE_PID,
             "tid": 0,
             "args": {"name": "wideleak-study"},
-        }
+        },
+        # The sampling record rides along as metadata, so a truncated
+        # trace opened in Perfetto still says how much it dropped.
+        {
+            "name": "sampling",
+            "ph": "M",
+            "pid": _TRACE_PID,
+            "tid": 0,
+            "args": bus.sampling_snapshot(),
+        },
     ]
     for track, tid in tids.items():
         events.append(
@@ -139,18 +151,28 @@ def render_metrics_table(bus: ObservabilityBus) -> str:
             lines.append("")
         width = max(len(name) for name in histograms)
         lines.append(
-            f"{'histogram'.ljust(width)}  {'count':>7s}  {'mean':>12s}  {'total':>12s}"
+            f"{'histogram'.ljust(width)}  {'count':>7s}  {'p50':>10s}"
+            f"  {'p95':>10s}  {'p99':>10s}  {'total':>12s}  exemplar"
         )
-        lines.append(f"{'-' * width}  {'-' * 7}  {'-' * 12}  {'-' * 12}")
+        lines.append(
+            f"{'-' * width}  {'-' * 7}  {'-' * 10}  {'-' * 10}"
+            f"  {'-' * 10}  {'-' * 12}  --------"
+        )
         for name, stat in histograms.items():
             if name.startswith("span."):
-                mean = f"{stat.mean / 1e6:.3f}ms"
-                total = f"{stat.total / 1e6:.3f}ms"
+                fmt = lambda v: f"{v / 1e6:.3f}ms"  # noqa: E731
             else:
-                mean = f"{stat.mean:.1f}"
-                total = f"{stat.total:.1f}"
+                fmt = lambda v: f"{v:.1f}"  # noqa: E731
+            exemplar = stat.max_exemplar()
+            # The exemplar links the stream's worst outlier to its span
+            # in the recorded trace (only sampled spans donate one).
+            exemplar_cell = "-" if exemplar is None else f"span:{exemplar[1]}"
             lines.append(
-                f"{name.ljust(width)}  {stat.count:>7d}  {mean:>12s}  {total:>12s}"
+                f"{name.ljust(width)}  {stat.count:>7d}"
+                f"  {fmt(stat.percentile(50)):>10s}"
+                f"  {fmt(stat.percentile(95)):>10s}"
+                f"  {fmt(stat.percentile(99)):>10s}"
+                f"  {fmt(stat.total):>12s}  {exemplar_cell}"
             )
     if not lines:
         return "(no metrics recorded)"

@@ -44,6 +44,10 @@ class Span:
     end_ns: int | None = None
     attrs: dict[str, Any] = field(default_factory=dict)
     points: list[SpanPoint] = field(default_factory=list)
+    # Head-based sampling verdict, inherited from the root: a dropped
+    # span still times its work (histograms stay exact) but is never
+    # recorded, so a tree is either exported whole or not at all.
+    sampled: bool = field(default=True, compare=False)
 
     @property
     def duration_ns(self) -> int:

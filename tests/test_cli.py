@@ -1,8 +1,12 @@
 """Command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+TRACE_FIXTURES = Path(__file__).parent / "fixtures" / "traces"
 
 
 class TestParser:
@@ -47,3 +51,75 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Application -> MediaDRM Server: MediaDrm(UUID)" in out
         assert out.count("Decrypt()") == 1
+
+
+class TestProfileAndTrace:
+    @pytest.mark.parametrize("command", ["profile", "trace"])
+    def test_unknown_app_exits_2_naming_valid_apps(self, command, capsys):
+        assert main([command, "--app", "Blockbuster"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one line, not a traceback
+        assert "unknown app 'Blockbuster'" in err
+        assert "Netflix" in err and "Salto" in err
+
+    @pytest.mark.parametrize("command", ["profile", "trace"])
+    def test_bad_rate_exits_2(self, command, capsys):
+        assert main([command, "--app", "Salto", "--rate", "2/3"]) == 2
+        assert "sampling rate must be 1/N" in capsys.readouterr().err
+
+    def test_profile_single_app_with_flame_graph(self, capsys, tmp_path):
+        flame = tmp_path / "flame.txt"
+        assert main(["profile", "--app", "Salto", "--flame", str(flame)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path — Salto" in out
+        assert "self%" in out
+        assert "sampling 1/1" in out
+        # Collapsed stacks: speedscope/flamegraph.pl-compatible lines.
+        lines = flame.read_text().strip().split("\n")
+        assert lines and all(" " in line for line in lines)
+        assert any(line.startswith("study.app;") for line in lines)
+
+    def test_trace_reports_sampling(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--app",
+                    "Salto",
+                    "--out",
+                    str(out_path),
+                    "--rate",
+                    "1/4",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sampling 1/4 (seed 1)" in out
+        assert out_path.exists()
+
+    def test_trace_diff_flags_the_slowdown_and_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "trace",
+                "--diff",
+                str(TRACE_FIXTURES / "baseline.jsonl"),
+                str(TRACE_FIXTURES / "slowdown.jsonl"),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "license.exchange" in out
+
+    def test_trace_diff_identical_exits_zero(self, capsys):
+        fixture = str(TRACE_FIXTURES / "baseline.jsonl")
+        assert main(["trace", "--diff", fixture, fixture]) == 0
+        assert "no span regressed" in capsys.readouterr().out
+
+    def test_trace_diff_missing_file_exits_2(self, capsys):
+        assert main(["trace", "--diff", "nope.jsonl", "nope2.jsonl"]) == 2
+        assert "trace --diff" in capsys.readouterr().err

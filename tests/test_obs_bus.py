@@ -200,6 +200,107 @@ class TestMergeAndLifecycle:
         assert seen == [("a", "b", "c"), ("d", "e", "f")]
 
 
+class TestAbsorbEdgeCases:
+    def test_absorbing_an_empty_worker_bus_is_harmless(self):
+        study = ObservabilityBus(clock=FakeClock())
+        with study.span("study.setup"):
+            pass
+        before_trees = study.trees()
+        before_metrics = study.metrics.snapshot()
+        study.absorb(ObservabilityBus(clock=FakeClock()))
+        assert study.trees() == before_trees
+        assert study.metrics.snapshot() == before_metrics
+        assert study.sampling_snapshot()["recorded_spans"] == 1
+
+    def test_absorbing_a_disabled_worker_bus_is_harmless(self):
+        study = ObservabilityBus(clock=FakeClock())
+        with study.span("study.setup"):
+            study.count("worlds.built")
+        disabled = ObservabilityBus(enabled=False)
+        with disabled.span("invisible"):
+            disabled.count("never")
+        study.absorb(disabled)
+        assert study.span_names() == ["study.setup"]
+        assert study.metrics.counters() == {"worlds.built": 1}
+        # The id space stays intact for the next real worker merge.
+        with study.span("study.next"):
+            pass
+        assert [s.span_id for s in study.spans] == [1, 2]
+
+    def test_absorb_shifts_exemplars_with_the_span_ids(self):
+        study = ObservabilityBus(clock=FakeClock())
+        with study.span("study.setup"):
+            pass
+        worker = ObservabilityBus(clock=FakeClock())
+        with worker.span("study.app", app="Hulu"):
+            with worker.span("license.exchange"):
+                pass
+        study.absorb(worker)
+        recorded_ids = {s.span_id for s in study.spans}
+        for stat in study.metrics.histograms().values():
+            for _, span_id in stat.exemplars.values():
+                assert span_id in recorded_ids
+
+
+class TestHistogramPercentiles:
+    def test_percentiles_are_ordered_and_bounded(self):
+        from repro.obs.metrics import HistogramStat
+
+        stat = HistogramStat()
+        for value in (1, 2, 3, 5, 8, 13, 100, 1000):
+            stat.observe(value)
+        p50, p95, p99 = (
+            stat.percentile(50),
+            stat.percentile(95),
+            stat.percentile(99),
+        )
+        assert stat.minimum <= p50 <= p95 <= p99 <= stat.maximum
+        assert p50 < 100  # half the stream sits at or below 5
+
+    def test_merge_is_exact_and_order_independent(self):
+        from repro.obs.metrics import HistogramStat
+
+        def filled(values, base_id):
+            stat = HistogramStat()
+            for offset, value in enumerate(values):
+                stat.observe(value, exemplar=base_id + offset)
+            return stat
+
+        left_values, right_values = [1, 50, 900, 3], [7, 7, 2048]
+        ab = filled(left_values, 10)
+        ab.merge(filled(right_values, 20))
+        ba = filled(right_values, 20)
+        ba.merge(filled(left_values, 10))
+        assert ab.to_dict() == ba.to_dict()
+        assert ab.buckets == ba.buckets
+        assert ab.exemplars == ba.exemplars
+        for q in (50, 95, 99):
+            assert ab.percentile(q) == ba.percentile(q)
+
+    def test_exemplar_tracks_the_bucket_maximum(self):
+        from repro.obs.metrics import HistogramStat
+
+        stat = HistogramStat()
+        stat.observe(1000, exemplar=4)
+        stat.observe(1500, exemplar=9)  # same bucket (1024, 2048]... no:
+        # 1000 -> bucket (512, 1024], 1500 -> (1024, 2048]; the overall
+        # max exemplar is the highest bucket's.
+        assert stat.max_exemplar() == (1500, 9)
+        stat.observe(1600, exemplar=2)
+        assert stat.max_exemplar() == (1600, 2)
+
+    def test_fixed_bucket_boundaries(self):
+        from repro.obs.metrics import bucket_bounds, bucket_index
+
+        assert bucket_index(0.5) == 0
+        assert bucket_index(1) == 0
+        assert bucket_index(2) == 1
+        assert bucket_index(3) == 2
+        assert bucket_index(1024) == 10
+        assert bucket_index(1025) == 11
+        assert bucket_bounds(10) == (512.0, 1024.0)
+
+
 class TestFlowTraceLocking:
     def test_concurrent_records_are_all_kept(self):
         trace = FlowTrace()

@@ -49,12 +49,23 @@ class TestJsonl:
             "span",
             "event",
             "metrics",
+            "sampling",
         ]
 
     def test_metrics_line_carries_the_snapshot(self, recorded_bus):
-        last = json.loads(to_jsonl(recorded_bus).strip().split("\n")[-1])
-        assert last["counters"]["http.requests"] == 1
-        assert "span.http.request" in last["histograms"]
+        metrics = json.loads(to_jsonl(recorded_bus).strip().split("\n")[-2])
+        assert metrics["counters"]["http.requests"] == 1
+        assert "span.http.request" in metrics["histograms"]
+        stat = metrics["histograms"]["span.http.request"]
+        # Fixed-bucket percentiles and the exemplar ride along.
+        assert stat["p50"] <= stat["p95"] <= stat["p99"] <= stat["max"]
+        assert stat["exemplar_span_id"] == 2
+
+    def test_sampling_line_records_no_truncation(self, recorded_bus):
+        sampling = json.loads(to_jsonl(recorded_bus).strip().split("\n")[-1])
+        assert sampling["rate"] == "1/1"
+        assert sampling["dropped_spans"] == 0
+        assert sampling["recorded_spans"] == 3
 
 
 class TestChromeTrace:
@@ -129,5 +140,21 @@ class TestMetricsTable:
         assert "span.http.request" in table
         assert "ms" in table  # span durations rendered in milliseconds
 
+    def test_percentile_columns_and_exemplars(self, recorded_bus):
+        table = render_metrics_table(recorded_bus)
+        for column in ("p50", "p95", "p99", "exemplar"):
+            assert column in table
+        # The http.request span (id 2) is the stream's only — and
+        # therefore worst — observation; its id links into the trace.
+        assert "span:2" in table
+
     def test_empty_bus_renders_placeholder(self):
         assert render_metrics_table(ObservabilityBus()) == "(no metrics recorded)"
+
+    def test_chrome_trace_carries_the_sampling_record(self, recorded_bus):
+        events = to_chrome_trace(recorded_bus)["traceEvents"]
+        sampling = next(
+            e for e in events if e["ph"] == "M" and e["name"] == "sampling"
+        )
+        assert sampling["args"]["dropped_spans"] == 0
+        assert sampling["args"]["rate"] == "1/1"
