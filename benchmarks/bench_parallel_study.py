@@ -11,6 +11,12 @@ ships:
   for repeated studies in one process (benchmarks, CI, notebooks).
 - **parallel** — the warm run fanned out over ``jobs=4`` worker
   threads via :class:`~repro.core.parallel.ParallelStudyRunner`.
+- **fleet** — the same campaign through :mod:`repro.fleet`: cold
+  (every cell computed into the content-addressed store), warm
+  resubmit (zero cells computed, pure cache hits) and a
+  single-profile invalidation (exactly the world cell plus that app's
+  audit cell recomputed). Cache-hit ratio and warm-vs-cold wall times
+  land in the artifact too.
 
 ``test_bench_study_trajectory`` writes the measurements to
 ``BENCH_study.json`` at the repo root so the trajectory is a diffable
@@ -26,13 +32,17 @@ at roughly neutral cost.
 
 from __future__ import annotations
 
+import dataclasses
 import gc
 import json
+import tempfile
 import time
 from pathlib import Path
 
 from repro.core.parallel import ParallelStudyRunner
 from repro.core.study import WideLeakStudy
+from repro.fleet import Campaign, FleetScheduler
+from repro.ott.registry import ALL_PROFILES
 from repro.crypto.aes import cipher_for
 from repro.obs.bus import ObservabilityBus
 from repro.obs.sampling import TraceSampler
@@ -150,6 +160,69 @@ def _sampling_sweep() -> dict[str, object]:
     }
 
 
+def _fleet_trajectory(expected_json: str) -> dict[str, object]:
+    """Cold campaign -> warm resubmit -> single-profile invalidation.
+
+    Runs the full ten-app campaign through the fleet scheduler three
+    times against one content-addressed store: cold (every cell
+    computed), warm (the acceptance criterion — zero cells computed,
+    byte-identical artifact) and with exactly one profile's benign
+    metadata bumped (recomputes only the world cell plus that app's
+    audit cell). Records the wall times and the warm cache-hit ratio.
+    """
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as root:
+        scheduler = FleetScheduler(root)
+        campaign = Campaign(profiles=ALL_PROFILES)
+
+        start = time.perf_counter()
+        cold = scheduler.submit(campaign)
+        cold_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = scheduler.submit(campaign)
+        warm_s = time.perf_counter() - start
+
+        bumped = list(ALL_PROFILES)
+        bumped[0] = dataclasses.replace(
+            bumped[0], installs_millions=bumped[0].installs_millions + 1
+        )
+        start = time.perf_counter()
+        invalidated = scheduler.submit(Campaign(profiles=tuple(bumped)))
+        invalidated_s = time.perf_counter() - start
+
+        # The whole point of the store: cold fleet assembly is
+        # byte-identical to the in-process run, and the warm resubmit
+        # recomputes nothing yet assembles the identical artifact.
+        assert cold.result.to_json() == expected_json
+        assert warm.result.to_json() == expected_json
+        assert warm.stats["computed"] == 0
+        assert warm.stats["cache_hits"] == warm.stats["cells"]
+        # world + the bumped app's audit cell; everything else is a hit
+        assert invalidated.stats["computed"] == 2
+
+        return {
+            "cold_seconds": round(cold_s, 3),
+            "warm_seconds": round(warm_s, 3),
+            "invalidated_seconds": round(invalidated_s, 3),
+            "warm_pct_of_cold": round(warm_s / cold_s * 100.0, 1),
+            "cells": cold.stats["cells"],
+            "cold_computed": cold.stats["computed"],
+            "warm_computed": warm.stats["computed"],
+            "warm_cache_hits": warm.stats["cache_hits"],
+            "warm_cache_hit_ratio": round(
+                warm.stats["cache_hits"] / warm.stats["cells"], 3
+            ),
+            "invalidated_computed": invalidated.stats["computed"],
+            "store": scheduler.store.stats(),
+            "byte_identical_to_sequential": True,
+            "note": (
+                "full ten-app campaign through repro.fleet against one "
+                "content-addressed store; warm resubmit is pure cache "
+                "hits and assembles the byte-identical StudyResult"
+            ),
+        }
+
+
 def _timed_attacks(jobs: int = 1) -> float:
     start = time.perf_counter()
     runner = ParallelStudyRunner(WideLeakStudy.with_default_apps(), jobs=jobs)
@@ -176,6 +249,7 @@ def test_bench_study_trajectory(capsys):
     attacks_par_s = _timed_attacks(jobs=4)
     observability = _obs_overhead()
     sampling_sweep = _sampling_sweep()
+    fleet = _fleet_trajectory(cold_json)
 
     assert warm_json == cold_json
     assert parallel_json == cold_json
@@ -223,6 +297,7 @@ def test_bench_study_trajectory(capsys):
             ),
             "sampling_sweep": sampling_sweep,
         },
+        "fleet": fleet,
         "packager_segment_cache": {
             "cold": cold_cache,
             "after_warm_run": warm_cache,
@@ -257,6 +332,15 @@ def test_bench_study_trajectory(capsys):
             f"1-in-4 {sampling_sweep['one_in_4_seconds']}s / "
             f"1-in-16 {sampling_sweep['one_in_16_seconds']}s / "
             f"disabled {sampling_sweep['disabled_seconds']}s"
+        )
+        print(
+            "fleet: "
+            f"cold {fleet['cold_seconds']}s / "
+            f"warm {fleet['warm_seconds']}s "
+            f"({fleet['warm_pct_of_cold']}% of cold, "
+            f"hit ratio {fleet['warm_cache_hit_ratio']}) / "
+            f"invalidated {fleet['invalidated_seconds']}s "
+            f"({fleet['invalidated_computed']} cells recomputed)"
         )
 
 

@@ -31,6 +31,7 @@ Suppressions are not silent: every one that fires is recorded in the
 from __future__ import annotations
 
 import ast
+import difflib
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -122,6 +123,11 @@ class LintViolation:
     path: str
     line: int
     message: str
+    # Ready-to-apply unified diff fixing the violation, when the rule
+    # knows the exact repair (REG001: wrap in `with <lock>:`; LRU004:
+    # declare the missing lock beside the cache). ``repro lint
+    # --fix-preview`` and ``tools/lint_repro.py`` echo it.
+    patch: str | None = None
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}: {self.rule} {self.message}"
@@ -283,12 +289,20 @@ class _Scope:
     lru_caches: set[str]
     has_lock: bool
     is_class: bool
+    # Lock expressions as they read at a mutation site (module names,
+    # or "self.<attr>" for class scopes) — the autofix wraps mutations
+    # in the first one. Empty when the scope declares no lock.
+    lock_exprs: tuple[str, ...] = ()
+    # cache name -> line of its declaring assignment; the LRU004
+    # autofix inserts the missing lock right below it.
+    cache_lines: dict[str, int] = field(default_factory=dict)
 
 
 def _module_scope(tree: ast.Module) -> _Scope:
     registries: set[str] = set()
     caches: set[str] = set()
-    has_lock = False
+    locks: list[str] = []
+    cache_lines: dict[str, int] = {}
     for stmt in tree.body:
         targets: list[ast.expr] = []
         value: ast.AST | None = None
@@ -302,20 +316,31 @@ def _module_scope(tree: ast.Module) -> _Scope:
             if not isinstance(target, ast.Name) or target.id == "__all__":
                 continue
             if _is_lock_factory(value):
-                has_lock = True
+                locks.append(target.id)
             elif _is_ordereddict_call(value):
                 caches.add(target.id)
                 registries.add(target.id)
+                cache_lines[target.id] = getattr(
+                    stmt, "end_lineno", stmt.lineno
+                )
             elif _is_mutable_literal(value):
                 registries.add(target.id)
-    return _Scope(registries, caches, has_lock, is_class=False)
+    return _Scope(
+        registries,
+        caches,
+        bool(locks),
+        is_class=False,
+        lock_exprs=tuple(locks),
+        cache_lines=cache_lines,
+    )
 
 
 def _class_scope(cls: ast.ClassDef) -> _Scope:
     """Instance attributes assigned anywhere in the class's methods."""
     registries: set[str] = set()
     caches: set[str] = set()
-    has_lock = False
+    locks: list[str] = []
+    cache_lines: dict[str, int] = {}
     for node in ast.walk(cls):
         if not isinstance(node, ast.Assign):
             continue
@@ -326,13 +351,91 @@ def _class_scope(cls: ast.ClassDef) -> _Scope:
                 and target.value.id == "self"
             ):
                 if _is_lock_factory(node.value):
-                    has_lock = True
+                    locks.append(f"self.{target.attr}")
                 elif _is_ordereddict_call(node.value):
                     caches.add(target.attr)
                     registries.add(target.attr)
+                    cache_lines[target.attr] = getattr(
+                        node, "end_lineno", node.lineno
+                    )
                 elif _is_mutable_literal(node.value):
                     registries.add(target.attr)
-    return _Scope(registries, caches, has_lock, is_class=True)
+    return _Scope(
+        registries,
+        caches,
+        bool(locks),
+        is_class=True,
+        lock_exprs=tuple(locks),
+        cache_lines=cache_lines,
+    )
+
+
+# -- autofix patches -----------------------------------------------------------
+
+
+def _unified_patch(
+    old_lines: list[str], new_lines: list[str], path: str
+) -> str:
+    """Full-file unified diff, ready for ``patch -p1`` / ``git apply``."""
+    return (
+        "\n".join(
+            difflib.unified_diff(
+                old_lines,
+                new_lines,
+                fromfile=f"a/{path}",
+                tofile=f"b/{path}",
+                lineterm="",
+            )
+        )
+        + "\n"
+    )
+
+
+def _reg001_patch(
+    source_lines: list[str], node: ast.AST, lock_expr: str, path: str
+) -> str | None:
+    """Wrap the flagged statement in ``with <lock>:``, re-indented."""
+    start = getattr(node, "lineno", 0) - 1
+    end = getattr(node, "end_lineno", getattr(node, "lineno", 0)) - 1
+    if start < 0 or end >= len(source_lines):
+        return None
+    stmt = source_lines[start : end + 1]
+    indent = stmt[0][: len(stmt[0]) - len(stmt[0].lstrip())]
+    fixed = [f"{indent}with {lock_expr}:"] + [
+        f"    {line}" if line.strip() else line for line in stmt
+    ]
+    new_lines = source_lines[:start] + fixed + source_lines[end + 1 :]
+    return _unified_patch(source_lines, new_lines, path)
+
+
+def _lru004_patch(
+    source_lines: list[str], scope: "_Scope", cache: str, path: str
+) -> str | None:
+    """Declare the missing lock on the line below the cache assignment
+    (adding ``import threading`` when the module lacks it)."""
+    decl_end = scope.cache_lines.get(cache)
+    if decl_end is None or decl_end > len(source_lines):
+        return None
+    decl_line = source_lines[decl_end - 1]
+    indent = decl_line[: len(decl_line) - len(decl_line.lstrip())]
+    lock_name = f"self.{cache}_lock" if scope.is_class else f"{cache}_lock"
+    new_lines = list(source_lines)
+    new_lines.insert(decl_end, f"{indent}{lock_name} = threading.Lock()")
+    has_import = any(
+        re.match(r"\s*(import threading\b|from threading import )", line)
+        for line in source_lines
+    )
+    if not has_import:
+        insert_at = next(
+            (
+                index
+                for index, line in enumerate(source_lines)
+                if re.match(r"(import |from )", line)
+            ),
+            0,
+        )
+        new_lines.insert(insert_at, "import threading")
+    return _unified_patch(source_lines, new_lines, path)
 
 
 # -- mutation scanning ---------------------------------------------------------
@@ -347,11 +450,13 @@ class _MutationScanner(ast.NodeVisitor):
         path: str,
         violations: list[LintViolation],
         where: str,
+        source_lines: list[str] | None = None,
     ):
         self.scope = scope
         self.path = path
         self.violations = violations
         self.where = where
+        self.source_lines = source_lines or []
         self.lock_depth = 0
 
     # -- helpers -----------------------------------------------------------
@@ -373,6 +478,10 @@ class _MutationScanner(ast.NodeVisitor):
     def _flag(self, node: ast.AST, registry: str) -> None:
         if self.lock_depth > 0:
             return
+        lock_expr = self.scope.lock_exprs[0] if self.scope.lock_exprs else None
+        patch = None
+        if lock_expr is not None and self.source_lines:
+            patch = _reg001_patch(self.source_lines, node, lock_expr, self.path)
         self.violations.append(
             LintViolation(
                 rule="REG001",
@@ -380,8 +489,10 @@ class _MutationScanner(ast.NodeVisitor):
                 line=getattr(node, "lineno", 0),
                 message=(
                     f"shared registry {registry!r} mutated outside its lock "
-                    f"in {self.where} (wrap the mutation in `with <lock>:`)"
+                    f"in {self.where} (wrap the mutation in "
+                    f"`with {lock_expr or '<lock>'}:`)"
                 ),
+                patch=patch,
             )
         )
 
@@ -431,13 +542,22 @@ class _MutationScanner(ast.NodeVisitor):
 
 
 def _check_registry_locks(
-    tree: ast.Module, path: str, violations: list[LintViolation]
+    tree: ast.Module,
+    path: str,
+    violations: list[LintViolation],
+    source_lines: list[str] | None = None,
 ) -> None:
     """REG001 + LRU004 over the module scope and every class scope."""
+    source_lines = source_lines or []
 
     def scan_scope(scope: _Scope, owner: ast.AST, label: str) -> None:
         if scope.lru_caches and not scope.has_lock:
             for cache in sorted(scope.lru_caches):
+                patch = (
+                    _lru004_patch(source_lines, scope, cache, path)
+                    if source_lines
+                    else None
+                )
                 violations.append(
                     LintViolation(
                         rule="LRU004",
@@ -448,6 +568,7 @@ def _check_registry_locks(
                             "declare a threading.Lock() beside it and mutate "
                             "under it"
                         ),
+                        patch=patch,
                     )
                 )
         if not scope.has_lock or not scope.registries:
@@ -463,7 +584,11 @@ def _check_registry_locks(
                 if func.name == "__init__":
                     continue  # construction precedes sharing
                 scanner = _MutationScanner(
-                    scope, path, violations, where=f"{label}.{func.name}"
+                    scope,
+                    path,
+                    violations,
+                    where=f"{label}.{func.name}",
+                    source_lines=source_lines,
                 )
                 for node in func.body:
                     scanner.visit(node)
@@ -566,7 +691,7 @@ def lint_source_report(source: str, path: str = "<string>") -> LintReport:
             ]
         )
     violations: list[LintViolation] = []
-    _check_registry_locks(tree, path, violations)
+    _check_registry_locks(tree, path, violations, source.splitlines())
     _check_forbidden_calls(tree, path, violations)
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
     return _apply_suppressions(

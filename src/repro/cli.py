@@ -10,9 +10,16 @@
     wideleak trace [--app <app>] record a run and export a Chrome trace
     wideleak trace --diff A B    per-span-name deltas between two traces
     wideleak profile             critical paths, self-time, flame graph
+    wideleak fleet submit        run a campaign through the fleet scheduler
+    wideleak fleet status        show known campaigns and their progress
+    wideleak fleet resume        pick an interrupted campaign back up
+    wideleak fleet gc            bound the content-addressed result store
     wideleak list-apps           show the evaluated services
 
 Also runnable as ``python -m repro <command>``.
+
+Every subcommand taking an app resolves it through :func:`resolve_app`:
+an unknown name exits 2 with one line on stderr naming the valid apps.
 """
 
 from __future__ import annotations
@@ -25,12 +32,12 @@ from repro.core.study import WideLeakStudy
 from repro.ott.profile import OttProfile
 from repro.ott.registry import ALL_PROFILES, profile_by_name
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "resolve_app"]
 
 
-def _resolve_app(name: str) -> OttProfile | None:
-    """Look an app up for trace/profile; on a miss, print one line
-    naming the valid apps (the caller exits with code 2)."""
+def resolve_app(name: str) -> OttProfile | None:
+    """Shared app lookup for every subcommand; on a miss, print one
+    line on stderr naming the valid apps (the caller exits code 2)."""
     try:
         return profile_by_name(name)
     except KeyError:
@@ -94,6 +101,73 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=["src/repro"],
         help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--fix-preview",
+        action="store_true",
+        help="print the ready-to-apply unified-diff patch next to each "
+        "REG001/LRU004 violation that has one",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="persistent campaign scheduler: content-addressed cell "
+        "cache, worker processes, crash-safe resume",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    root_help = "fleet state directory (default: .fleet)"
+    submit = fleet_sub.add_parser(
+        "submit", help="run a campaign, computing only cold cells"
+    )
+    submit.add_argument(
+        "--apps",
+        nargs="*",
+        metavar="APP",
+        help="apps to study (default: all ten evaluated services)",
+    )
+    submit.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1: inline, single process)",
+    )
+    submit.add_argument("--root", default=".fleet", metavar="DIR", help=root_help)
+    submit.add_argument("--seed", type=int, default=0, help="campaign seed")
+    submit.add_argument(
+        "--attacks", action="store_true", help="include §IV-D attack cells"
+    )
+    submit.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="export the fleet telemetry spans as a Chrome trace",
+    )
+    status = fleet_sub.add_parser(
+        "status", help="show known campaigns and their checkpoints"
+    )
+    status.add_argument("--root", default=".fleet", metavar="DIR", help=root_help)
+    resume = fleet_sub.add_parser(
+        "resume", help="reconcile and finish an interrupted campaign"
+    )
+    resume.add_argument("--root", default=".fleet", metavar="DIR", help=root_help)
+    resume.add_argument(
+        "--campaign",
+        metavar="ID",
+        help="campaign id (default: the single interrupted campaign)",
+    )
+    resume.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes (default 1)",
+    )
+    gc = fleet_sub.add_parser(
+        "gc", help="evict least-recently-used store objects to a bound"
+    )
+    gc.add_argument("--root", default=".fleet", metavar="DIR", help=root_help)
+    gc.add_argument(
+        "--max-bytes",
+        type=int,
+        metavar="N",
+        help="evict LRU objects until the store fits N bytes",
     )
 
     attack = sub.add_parser("attack", help="run the key-ladder attack on one app")
@@ -231,12 +305,10 @@ def _cmd_list_apps() -> int:
 
 
 def _cmd_audit(app_name: str) -> int:
-    study = WideLeakStudy.with_default_apps()
-    try:
-        profile = profile_by_name(app_name)
-    except KeyError as exc:
-        print(exc.args[0])
+    profile = resolve_app(app_name)
+    if profile is None:
         return 2
+    study = WideLeakStudy.with_default_apps()
     app_result = study.study_app(profile)
     row = WideLeakStudy._to_row(app_result)
     table = TableOne(rows=[row])
@@ -282,17 +354,16 @@ def _analyze_one(study: WideLeakStudy, profile) -> None:
 
 def _cmd_analyze(app_name: str | None, all_apps: bool) -> int:
     if not all_apps and app_name is None:
-        print("analyze: name an app or pass --all")
+        print("analyze: name an app or pass --all", file=sys.stderr)
         return 2
-    study = WideLeakStudy.with_default_apps()
     if all_apps:
         profiles = ALL_PROFILES
     else:
-        try:
-            profiles = (profile_by_name(app_name),)
-        except KeyError as exc:
-            print(exc.args[0])
+        profile = resolve_app(app_name)
+        if profile is None:
             return 2
+        profiles = (profile,)
+    study = WideLeakStudy.with_default_apps()
     for index, profile in enumerate(profiles):
         if index:
             print()
@@ -300,12 +371,14 @@ def _cmd_analyze(app_name: str | None, all_apps: bool) -> int:
     return 0
 
 
-def _cmd_lint(paths: list[str]) -> int:
+def _cmd_lint(paths: list[str], fix_preview: bool = False) -> int:
     from repro.analysis.lint import lint_paths_report
 
     report = lint_paths_report(paths)
     for violation in report.violations:
         print(violation)
+        if fix_preview and violation.patch:
+            print(violation.patch.rstrip("\n"))
     for suppressed in report.suppressed:
         print(suppressed)
     if report.violations:
@@ -366,7 +439,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.app is None:
         study.run()
     else:
-        profile = _resolve_app(args.app)
+        profile = resolve_app(args.app)
         if profile is None:
             return 2
         study.study_app(profile)
@@ -390,7 +463,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if args.app is None:
         ParallelStudyRunner(study, jobs=args.jobs).run()
     else:
-        profile = _resolve_app(args.app)
+        profile = resolve_app(args.app)
         if profile is None:
             return 2
         study.study_app(profile)
@@ -407,10 +480,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(app_name: str) -> int:
-    try:
-        profile = profile_by_name(app_name)
-    except KeyError as exc:
-        print(exc.args[0])
+    profile = resolve_app(app_name)
+    if profile is None:
         return 2
     study = WideLeakStudy.with_default_apps()
     outcome = study.run_attack(profile)
@@ -426,6 +497,88 @@ def _cmd_attack(app_name: str) -> int:
         return 0
     print("DRM-free recovery:    no")
     return 1
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import Campaign, FleetError, FleetScheduler
+    from repro.obs.export import render_metrics_table
+
+    scheduler = FleetScheduler(args.root)
+
+    if args.fleet_command == "status":
+        rows = scheduler.status()
+        if not rows:
+            print(f"no campaigns under {args.root}")
+            return 0
+        print(f"{'campaign':18s} {'state':12s} {'done':>9s} "
+              f"{'queued':>6s} {'claimed':>7s} apps")
+        for row in rows:
+            print(
+                f"{row['campaign_id']:18s} {row['state']:12s} "
+                f"{row['done']:>4d}/{row['cells']:<4d} "
+                f"{row['queued']:>6d} {row['claimed']:>7d} "
+                f"{', '.join(row['apps'])}"
+            )
+        return 0
+
+    if args.fleet_command == "gc":
+        stats = scheduler.gc(args.max_bytes)
+        print(
+            f"evicted {stats['evicted']} object(s); store holds "
+            f"{stats['objects']} object(s), {stats['bytes']} bytes "
+            f"({stats['hits']} hits / {stats['misses']} misses lifetime)"
+        )
+        return 0
+
+    try:
+        if args.fleet_command == "submit":
+            if args.apps:
+                profiles = []
+                for name in args.apps:
+                    profile = resolve_app(name)
+                    if profile is None:
+                        return 2
+                    profiles.append(profile)
+                profiles = tuple(profiles)
+            else:
+                profiles = ALL_PROFILES
+            campaign = Campaign(
+                profiles=profiles,
+                seed=args.seed,
+                include_attacks=args.attacks,
+            )
+            outcome = scheduler.submit(campaign, jobs=args.jobs)
+        else:  # resume
+            outcome = scheduler.resume(args.campaign, jobs=args.jobs)
+    except FleetError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+
+    stats = outcome.stats
+    print(outcome.result.table.render())
+    print(
+        f"\ncampaign {outcome.campaign_dir.name}: {stats['cells']} cells — "
+        f"{stats['computed']} computed, {stats['cache_hits']} cache hits, "
+        f"{stats['steals']} steals, {stats['retries']} retries "
+        f"({stats['workers']} worker(s))"
+    )
+    print(f"artifact: {outcome.campaign_dir / 'result.json'}")
+    if outcome.attacks:
+        broken = sorted(
+            name
+            for name, attack in outcome.attacks.items()
+            if attack.recovery_succeeded
+        )
+        print(f"attacks: {len(broken)} apps yield DRM-free content: "
+              + ", ".join(broken))
+    print()
+    print(render_metrics_table(outcome.obs))
+    if getattr(args, "trace_out", None):
+        from repro.obs.export import write_chrome_trace
+
+        path = write_chrome_trace(outcome.obs, args.trace_out)
+        print(f"wrote fleet telemetry trace to {path}")
+    return 0
 
 
 def _cmd_attack_all(jobs: int = 1) -> int:
@@ -456,7 +609,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "analyze":
         return _cmd_analyze(args.app, args.all)
     if args.command == "lint":
-        return _cmd_lint(args.paths)
+        return _cmd_lint(args.paths, args.fix_preview)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "profile":

@@ -54,7 +54,14 @@ from repro.ott.backend import OttBackend
 from repro.ott.profile import OttProfile
 from repro.ott.registry import ALL_PROFILES
 
-__all__ = ["AppStudyResult", "StudyResult", "AttackStudyResult", "WideLeakStudy"]
+__all__ = [
+    "AppCellArtifact",
+    "AppStudyResult",
+    "AttackCellArtifact",
+    "AttackStudyResult",
+    "StudyResult",
+    "WideLeakStudy",
+]
 
 
 @dataclass
@@ -86,6 +93,134 @@ class AppStudyResult:
         )
 
 
+@dataclass(frozen=True)
+class AppCellArtifact:
+    """JSON-serializable projection of one app's Q1–Q4 results.
+
+    Exactly the facts the study artifact consumes — the Table I row,
+    the per-app section of :meth:`StudyResult.to_json` and every
+    scalar :meth:`StudyResult.summary` reads. ``StudyResult`` routes
+    its own serialization through these projections, so a result
+    assembled from persisted artifacts (the fleet's incremental
+    re-runs) is byte-identical to one assembled from live pipeline
+    objects.
+    """
+
+    app: str
+    row: tuple[str, ...]  # Table I cells, in TableOneRow.cells() order
+    # (confirmed, dead_code, static_unobserved, dynamic_only)
+    crosscheck_row: tuple[int, int, int, int]
+    widevine_used: bool
+    video_status: str | None  # AssetStatus.value, None = not obtainable
+    audio_status: str | None
+    text_status: str | None
+    key_usage: str | None  # KeyUsagePolicy.value, None = inconclusive
+    legacy_outcome: str  # LegacyOutcome.value
+    legacy_content_delivered: bool
+    legacy_video_height: int | None
+    security_level: str | None
+    oecc_calls: int
+    secure_channel: bool
+    reachable_key_leak: bool
+    dead_drm_code: bool
+    analysis: dict | None  # ApkAnalysisReport.to_dict()
+    crosscheck: dict | None  # counts + dynamic-only functions
+
+    @classmethod
+    def from_result(cls, result: "AppStudyResult") -> "AppCellArtifact":
+        audit = result.audit
+
+        def status(kind: str) -> str | None:
+            value = audit.status_for(kind)
+            return None if value is None else value.value
+
+        key_usage = result.key_usage.classification
+        check_row = result.crosscheck_row()
+        return cls(
+            app=result.profile.name,
+            row=WideLeakStudy._to_row(result).cells(),
+            crosscheck_row=(
+                check_row.confirmed,
+                check_row.dead_code,
+                check_row.static_unobserved,
+                check_row.dynamic_only,
+            ),
+            widevine_used=audit.observation.widevine_used,
+            video_status=status("video"),
+            audio_status=status("audio"),
+            text_status=status("text"),
+            key_usage=None if key_usage is None else key_usage.value,
+            legacy_outcome=result.legacy.outcome.value,
+            legacy_content_delivered=result.legacy.content_delivered,
+            legacy_video_height=result.legacy.video_height,
+            security_level=audit.observation.security_level,
+            oecc_calls=audit.observation.oecc_call_count,
+            secure_channel=audit.secure_channel_manifest_recovered,
+            reachable_key_leak=(
+                result.analysis is not None
+                and any(f.reachable for f in result.analysis.taint_findings)
+            ),
+            dead_drm_code=(
+                result.analysis is not None and bool(result.analysis.dead_sites)
+            ),
+            analysis=(
+                None if result.analysis is None else result.analysis.to_dict()
+            ),
+            crosscheck=(
+                None
+                if result.crosscheck is None
+                else {
+                    **result.crosscheck.counts(),
+                    "dynamic_only_functions": list(result.crosscheck.dynamic_only),
+                }
+            ),
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "app": self.app,
+            "row": list(self.row),
+            "crosscheck_row": list(self.crosscheck_row),
+            "widevine_used": self.widevine_used,
+            "video_status": self.video_status,
+            "audio_status": self.audio_status,
+            "text_status": self.text_status,
+            "key_usage": self.key_usage,
+            "legacy_outcome": self.legacy_outcome,
+            "legacy_content_delivered": self.legacy_content_delivered,
+            "legacy_video_height": self.legacy_video_height,
+            "security_level": self.security_level,
+            "oecc_calls": self.oecc_calls,
+            "secure_channel": self.secure_channel,
+            "reachable_key_leak": self.reachable_key_leak,
+            "dead_drm_code": self.dead_drm_code,
+            "analysis": self.analysis,
+            "crosscheck": self.crosscheck,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AppCellArtifact":
+        data = dict(payload)
+        data["row"] = tuple(data["row"])
+        data["crosscheck_row"] = tuple(data["crosscheck_row"])
+        return cls(**data)
+
+    def table_row(self) -> TableOneRow:
+        return TableOneRow(*self.row)
+
+    def app_json(self) -> dict[str, object]:
+        """The per-app section of :meth:`StudyResult.to_json`."""
+        return {
+            "security_level": self.security_level,
+            "oecc_calls": self.oecc_calls,
+            "secure_channel": self.secure_channel,
+            "legacy_outcome": self.legacy_outcome,
+            "legacy_video_height": self.legacy_video_height,
+            "analysis": self.analysis,
+            "crosscheck": self.crosscheck,
+        }
+
+
 @dataclass
 class AttackStudyResult:
     """§IV-D outcome for one app."""
@@ -93,6 +228,67 @@ class AttackStudyResult:
     profile: OttProfile
     attack: KeyLadderAttackResult
     recovered: RecoveredMedia | None
+
+
+@dataclass(frozen=True)
+class AttackCellArtifact:
+    """JSON-serializable projection of one §IV-D attack outcome."""
+
+    app: str
+    device_model: str
+    keybox_recovered: bool
+    rsa_recovered: bool
+    licenses_observed: int
+    content_keys: tuple[tuple[str, str], ...]  # (kid hex, key hex)
+    notes: tuple[str, ...]
+    recovery_attempted: bool
+    recovery_succeeded: bool
+    best_video_height: int | None
+
+    @classmethod
+    def from_result(cls, result: AttackStudyResult) -> "AttackCellArtifact":
+        attack = result.attack
+        recovered = result.recovered
+        return cls(
+            app=result.profile.name,
+            device_model=attack.device_model,
+            keybox_recovered=attack.keybox_recovered,
+            rsa_recovered=attack.rsa_recovered,
+            licenses_observed=attack.licenses_observed,
+            content_keys=tuple(
+                (kid.hex(), key.hex())
+                for kid, key in attack.content_keys.items()
+            ),
+            notes=tuple(attack.notes),
+            recovery_attempted=recovered is not None,
+            recovery_succeeded=recovered is not None and recovered.succeeded,
+            best_video_height=(
+                None if recovered is None else recovered.best_video_height
+            ),
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "app": self.app,
+            "device_model": self.device_model,
+            "keybox_recovered": self.keybox_recovered,
+            "rsa_recovered": self.rsa_recovered,
+            "licenses_observed": self.licenses_observed,
+            "content_keys": [list(pair) for pair in self.content_keys],
+            "notes": list(self.notes),
+            "recovery_attempted": self.recovery_attempted,
+            "recovery_succeeded": self.recovery_succeeded,
+            "best_video_height": self.best_video_height,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AttackCellArtifact":
+        data = dict(payload)
+        data["content_keys"] = tuple(
+            tuple(pair) for pair in data["content_keys"]
+        )
+        data["notes"] = tuple(data["notes"])
+        return cls(**data)
 
 
 @dataclass
@@ -104,12 +300,27 @@ class StudyResult:
     # The bus the run observed through; carries the aggregate metrics
     # for summary()/report and the span tree for the trace exporters.
     obs: ObservabilityBus | None = field(default=None, repr=False, compare=False)
+    # Per-app artifact projections. Live runs fill this lazily from
+    # ``apps``; the fleet assembler pre-populates it from the result
+    # store (in which case ``apps`` stays empty). Everything the
+    # artifact emits — summary(), to_json(), the cross-check table —
+    # reads from here, so both construction paths share one code path.
+    cells: dict[str, AppCellArtifact] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def cell_artifacts(self) -> dict[str, AppCellArtifact]:
+        """The per-app artifact projections, in profile order."""
+        for name, app in self.apps.items():
+            if name not in self.cells:
+                self.cells[name] = AppCellArtifact.from_result(app)
+        return self.cells
 
     def crosscheck_table(self) -> CrossCheckTable:
         """Static-vs-dynamic reconciliation, one row per app."""
         table = CrossCheckTable()
-        for app in self.apps.values():
-            table.add(app.crosscheck_row())
+        for name, cell in self.cell_artifacts().items():
+            table.add(CrossCheckRow(name, *cell.crosscheck_row))
         return table
 
     def metrics_table(self) -> str:
@@ -122,7 +333,7 @@ class StudyResult:
 
     def summary(self) -> dict[str, object]:
         """The paper's headline counts, computed from measurements."""
-        audits = {name: app.audit for name, app in self.apps.items()}
+        cells = self.cell_artifacts()
         # Deterministic bus counters only — request/byte/flow/license
         # totals are functions of the study inputs, so they survive the
         # byte-identity contract (sequential == parallel, cold == warm).
@@ -130,51 +341,43 @@ class StudyResult:
         observability: dict[str, object] = {}
         if self.obs is not None and self.obs.enabled:
             observability = {"counters": dict(self.obs.metrics.counters())}
+        clear = AssetStatus.CLEAR.value
+        encrypted = AssetStatus.ENCRYPTED.value
         return {
             "observability": observability,
             "apps_with_reachable_key_leaks": sorted(
-                name
-                for name, app in self.apps.items()
-                if app.analysis is not None
-                and any(f.reachable for f in app.analysis.taint_findings)
+                name for name, cell in cells.items() if cell.reachable_key_leak
             ),
             "apps_with_dead_drm_code": sorted(
-                name
-                for name, app in self.apps.items()
-                if app.analysis is not None and app.analysis.dead_sites
+                name for name, cell in cells.items() if cell.dead_drm_code
             ),
-            "apps_evaluated": len(self.apps),
+            "apps_evaluated": len(cells),
             "apps_using_widevine": sum(
-                1 for a in audits.values() if a.observation.widevine_used
+                1 for cell in cells.values() if cell.widevine_used
             ),
             "apps_with_clear_audio": sorted(
                 name
-                for name, a in audits.items()
-                if a.status_for("audio") is AssetStatus.CLEAR
+                for name, cell in cells.items()
+                if cell.audio_status == clear
             ),
             "apps_with_encrypted_video": sum(
-                1
-                for a in audits.values()
-                if a.status_for("video") is AssetStatus.ENCRYPTED
+                1 for cell in cells.values() if cell.video_status == encrypted
             ),
             "apps_with_clear_subtitles": sum(
-                1
-                for a in audits.values()
-                if a.status_for("text") is AssetStatus.CLEAR
+                1 for cell in cells.values() if cell.text_status == clear
             ),
             "apps_following_recommended_keys": sorted(
                 name
-                for name, app in self.apps.items()
-                if app.key_usage.classification is not None
-                and app.key_usage.classification.value == "Recommended"
+                for name, cell in cells.items()
+                if cell.key_usage == "Recommended"
             ),
             "apps_revoking_legacy_devices": sorted(
                 name
-                for name, app in self.apps.items()
-                if app.legacy.outcome is LegacyOutcome.PROVISIONING_FAILED
+                for name, cell in cells.items()
+                if cell.legacy_outcome == LegacyOutcome.PROVISIONING_FAILED.value
             ),
             "apps_serving_legacy_devices": sum(
-                1 for app in self.apps.values() if app.legacy.content_delivered
+                1 for cell in cells.values() if cell.legacy_content_delivered
             ),
         }
 
@@ -198,29 +401,8 @@ class StudyResult:
             ],
             "matches_paper": self.table.matches_paper,
             "apps": {
-                name: {
-                    "security_level": app.audit.observation.security_level,
-                    "oecc_calls": app.audit.observation.oecc_call_count,
-                    "secure_channel": app.audit.secure_channel_manifest_recovered,
-                    "legacy_outcome": app.legacy.outcome.value,
-                    "legacy_video_height": app.legacy.video_height,
-                    "analysis": (
-                        None
-                        if app.analysis is None
-                        else app.analysis.to_dict()
-                    ),
-                    "crosscheck": (
-                        None
-                        if app.crosscheck is None
-                        else {
-                            **app.crosscheck.counts(),
-                            "dynamic_only_functions": list(
-                                app.crosscheck.dynamic_only
-                            ),
-                        }
-                    ),
-                }
-                for name, app in self.apps.items()
+                name: cell.app_json()
+                for name, cell in self.cell_artifacts().items()
             },
         }
         return json.dumps(payload, indent=2, sort_keys=True)

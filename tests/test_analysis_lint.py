@@ -199,6 +199,105 @@ class TestSuppressions:
         assert [v.rule for v in lint_source(source)] == ["CLK003"]
 
 
+def apply_unified_patch(source: str, patch: str) -> str:
+    """Apply a full-file unified diff the way ``patch -p1`` would."""
+    lines = source.splitlines()
+    result: list[str] = []
+    cursor = 0
+    for raw in patch.splitlines():
+        if raw.startswith(("---", "+++")):
+            continue
+        if raw.startswith("@@"):
+            start = int(raw.split()[1].lstrip("-").split(",")[0])
+            result.extend(lines[cursor : start - 1])
+            cursor = start - 1
+        elif raw.startswith("+"):
+            result.append(raw[1:])
+        elif raw.startswith("-"):
+            assert lines[cursor] == raw[1:], "patch context mismatch"
+            cursor += 1
+        elif raw.startswith(" ") or raw == "":
+            assert lines[cursor] == raw[1:], "patch context mismatch"
+            result.append(lines[cursor])
+            cursor += 1
+    result.extend(lines[cursor:])
+    return "\n".join(result) + "\n"
+
+
+class TestAutofixPatches:
+    """REG001/LRU004 violations carry a ready-to-apply unified diff;
+    applying it silences the violation."""
+
+    def test_reg001_patch_wraps_the_mutation_and_relints_clean(self):
+        source = _FIXTURE_BY_RULE["REG001"].read_text()
+        path = str(_FIXTURE_BY_RULE["REG001"])
+        violation = lint_source(source, path=path)[0]
+        assert violation.patch is not None
+        assert f"a/{path}" in violation.patch
+        assert "with _REGISTRY_LOCK:" in violation.patch
+        fixed = apply_unified_patch(source, violation.patch)
+        assert lint_source(fixed, path=path) == []
+
+    def test_lru004_patch_declares_the_lock_and_relints_clean(self):
+        source = _FIXTURE_BY_RULE["LRU004"].read_text()
+        path = str(_FIXTURE_BY_RULE["LRU004"])
+        violation = lint_source(source, path=path)[0]
+        assert violation.patch is not None
+        assert "+import threading" in violation.patch
+        assert "self._entries_lock = threading.Lock()" in violation.patch
+        fixed = apply_unified_patch(source, violation.patch)
+        assert lint_source(fixed, path=path) == []
+
+    def test_lru004_patch_skips_the_import_when_already_present(self):
+        source = (
+            "import threading\n"
+            "from collections import OrderedDict\n"
+            "class C:\n"
+            "    def boot(self):\n"
+            "        self._cache = OrderedDict()\n"
+        )
+        violation = lint_source(source)[0]
+        assert violation.rule == "LRU004"
+        assert "+import threading" not in violation.patch
+        fixed = apply_unified_patch(source, violation.patch)
+        assert lint_source(fixed) == []
+
+    def test_reg001_multiline_mutation_is_wrapped_whole(self):
+        source = (
+            "import threading\n"
+            "_R = {}\n"
+            "_LOCK = threading.Lock()\n"
+            "def put(k):\n"
+            "    _R[k] = [\n"
+            "        1,\n"
+            "    ]\n"
+        )
+        violation = lint_source(source)[0]
+        fixed = apply_unified_patch(source, violation.patch)
+        assert "with _LOCK:" in fixed
+        assert lint_source(fixed) == []
+
+    def test_rules_without_a_known_fix_carry_no_patch(self):
+        violations = lint_source("import time\nt = time.time()\n")
+        assert [v.rule for v in violations] == ["CLK003"]
+        assert violations[0].patch is None
+
+    def test_cli_lint_fix_preview_echoes_the_patch(self, capsys):
+        from repro.cli import main
+
+        path = str(_FIXTURE_BY_RULE["REG001"])
+        assert main(["lint", "--fix-preview", path]) == 1
+        out = capsys.readouterr().out
+        assert f"+++ b/{path}" in out
+        assert "+    with _REGISTRY_LOCK:" in out
+
+    def test_cli_lint_without_flag_stays_terse(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", str(_FIXTURE_BY_RULE["REG001"])]) == 1
+        assert "+++" not in capsys.readouterr().out
+
+
 class TestCliTool:
     def _run(self, *args: str) -> subprocess.CompletedProcess:
         return subprocess.run(
@@ -221,6 +320,12 @@ class TestCliTool:
     def test_exit_two_on_missing_path(self):
         result = self._run("does/not/exist")
         assert result.returncode == 2
+
+    def test_fix_preview_flag_prints_patch_hunks(self):
+        result = self._run("--fix-preview", str(_FIXTURE_BY_RULE["LRU004"]))
+        assert result.returncode == 1
+        assert "@@" in result.stdout
+        assert "+        self._entries_lock = threading.Lock()" in result.stdout
 
     def test_suppressions_shown_in_clean_output(self, tmp_path):
         waived = tmp_path / "waived.py"

@@ -34,7 +34,9 @@ class TestCommands:
 
     def test_audit_unknown_app(self, capsys):
         assert main(["audit", "Blockbuster"]) == 2
-        assert "no OTT profile" in capsys.readouterr().out
+        err = capsys.readouterr().err
+        assert "unknown app 'Blockbuster'" in err
+        assert "Netflix" in err
 
     def test_attack_breaks_showtime(self, capsys):
         assert main(["attack", "Showtime"]) == 0
@@ -53,14 +55,31 @@ class TestCommands:
         assert out.count("Decrypt()") == 1
 
 
-class TestProfileAndTrace:
-    @pytest.mark.parametrize("command", ["profile", "trace"])
-    def test_unknown_app_exits_2_naming_valid_apps(self, command, capsys):
-        assert main([command, "--app", "Blockbuster"]) == 2
+class TestUnifiedAppErrors:
+    """Every subcommand taking an app shares resolve_app(): exit 2 with
+    one stderr line naming the valid apps."""
+
+    CASES = [
+        ["audit", "Blockbuster"],
+        ["analyze", "Blockbuster"],
+        ["attack", "Blockbuster"],
+        ["profile", "--app", "Blockbuster"],
+        ["trace", "--app", "Blockbuster"],
+        ["fleet", "submit", "--apps", "Blockbuster"],
+    ]
+
+    @pytest.mark.parametrize("argv", CASES, ids=lambda argv: argv[0])
+    def test_unknown_app_exits_2_naming_valid_apps(self, argv, capsys, tmp_path):
+        if argv[0] == "fleet":
+            argv = argv + ["--root", str(tmp_path / "fleet")]
+        assert main(argv) == 2
         err = capsys.readouterr().err
         assert err.count("\n") == 1  # one line, not a traceback
         assert "unknown app 'Blockbuster'" in err
         assert "Netflix" in err and "Salto" in err
+
+
+class TestProfileAndTrace:
 
     @pytest.mark.parametrize("command", ["profile", "trace"])
     def test_bad_rate_exits_2(self, command, capsys):

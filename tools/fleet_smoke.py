@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""CI smoke for the fleet scheduler: kill, resume, warm-resubmit gate.
+
+    python tools/fleet_smoke.py [--apps N] [--warm-budget-pct P]
+
+Exercises the crash-recovery and incremental-rerun contracts end to end
+against a real ``python -m repro fleet submit`` subprocess:
+
+1. **Kill.** Submit a three-app campaign as a child process and
+   SIGKILL it as soon as the first checkpoint (done marker) lands —
+   the hardest interruption the scheduler claims to survive.
+2. **Resume.** ``FleetScheduler.resume`` must carry the interrupted
+   campaign to completion and assemble a ``StudyResult`` byte-identical
+   to an uninterrupted in-process sequential run.
+3. **Warm gate.** A cold submit of the same campaign into a fresh root
+   is timed against a warm resubmit; the resubmit must compute zero
+   cells and finish in under ``--warm-budget-pct`` (default 20%) of the
+   cold wall time.
+
+Exits 0 when every contract holds, 1 on any violation, and prints the
+measured timings either way so the CI log shows the margin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.core.study import WideLeakStudy  # noqa: E402
+from repro.fleet import Campaign, FleetScheduler  # noqa: E402
+from repro.ott.registry import ALL_PROFILES  # noqa: E402
+
+
+def _fail(message: str) -> int:
+    print(f"fleet_smoke: FAIL — {message}", file=sys.stderr)
+    return 1
+
+
+def _kill_and_resume(profiles, expected_json: str, root: Path) -> int:
+    """SIGKILL a live ``repro fleet submit`` and resume it to the same
+    artifact. Returns 0 on success."""
+    apps = [p.name for p in profiles]
+    env = dict(os.environ, PYTHONPATH=str(_REPO_ROOT / "src"))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "fleet", "submit",
+         "--root", str(root), "--apps", *apps],
+        cwd=_REPO_ROOT,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    campaign_id = Campaign(profiles=profiles).campaign_id
+    done_dir = root / "campaigns" / campaign_id / "done"
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if len(list(done_dir.glob("*.json"))) >= 1:
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.005)
+        else:
+            return _fail("submit never produced a done marker")
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    if proc.returncode != -signal.SIGKILL:
+        return _fail(
+            f"campaign finished (rc={proc.returncode}) before the kill "
+            "landed; the window is too narrow for this machine"
+        )
+
+    scheduler = FleetScheduler(root)
+    status = {row["campaign_id"]: row for row in scheduler.status()}
+    state = status.get(campaign_id, {}).get("state")
+    if state != "interrupted":
+        return _fail(f"expected an interrupted checkpoint, found {state!r}")
+    resumed = scheduler.resume(campaign_id)
+    if resumed.result.to_json() != expected_json:
+        return _fail("resumed artifact differs from the sequential run")
+    status = {row["campaign_id"]: row for row in scheduler.status()}
+    if status[campaign_id]["state"] != "complete":
+        return _fail("checkpoint did not read complete after resume")
+    markers = len(list(done_dir.glob("*.json")))
+    print(
+        f"fleet_smoke: kill/resume OK — killed mid-campaign, resumed to a "
+        f"byte-identical artifact ({markers} done markers)"
+    )
+    return 0
+
+
+def _warm_gate(profiles, expected_json: str, root: Path, budget_pct: float) -> int:
+    """Cold vs. warm submit into a fresh root; gate the warm time."""
+    scheduler = FleetScheduler(root)
+    campaign = Campaign(profiles=profiles)
+
+    start = time.perf_counter()
+    cold = scheduler.submit(campaign)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = scheduler.submit(campaign)
+    warm_s = time.perf_counter() - start
+
+    pct = warm_s / cold_s * 100.0
+    print(
+        f"fleet_smoke: cold {cold_s:.3f}s, warm {warm_s:.3f}s "
+        f"({pct:.1f}% of cold, budget {budget_pct:.0f}%) — "
+        f"warm computed {warm.stats['computed']} of {warm.stats['cells']} cells"
+    )
+    if cold.result.to_json() != expected_json:
+        return _fail("cold fleet artifact differs from the sequential run")
+    if warm.result.to_json() != expected_json:
+        return _fail("warm fleet artifact differs from the sequential run")
+    if warm.stats["computed"] != 0:
+        return _fail(f"warm resubmit recomputed {warm.stats['computed']} cells")
+    if warm_s >= cold_s * budget_pct / 100.0:
+        return _fail(
+            f"warm resubmit took {pct:.1f}% of cold (budget {budget_pct:.0f}%)"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--apps", type=int, default=3,
+                        help="number of apps in the campaign (default 3)")
+    parser.add_argument("--warm-budget-pct", type=float, default=20.0,
+                        help="warm resubmit budget as %% of cold (default 20)")
+    args = parser.parse_args(argv)
+
+    profiles = ALL_PROFILES[: args.apps]
+    expected_json = WideLeakStudy(profiles=profiles).run().to_json()
+
+    with tempfile.TemporaryDirectory(prefix="fleet-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        rc = _kill_and_resume(profiles, expected_json, tmp_path / "killed")
+        if rc:
+            return rc
+        rc = _warm_gate(
+            profiles, expected_json, tmp_path / "gated", args.warm_budget_pct
+        )
+        if rc:
+            return rc
+    print("fleet_smoke: all contracts hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Run the repo invariant linter (repro.analysis.lint) over a tree.
 
-    python tools/lint_repro.py [PATH ...]
+    python tools/lint_repro.py [--fix-preview] [PATH ...]
 
 Defaults to ``src/repro`` relative to the repository root. Exits 0 when
 clean, 1 when any violation is found (this is what the CI lint job
-gates on), 2 on usage errors.
+gates on), 2 on usage errors. ``--fix-preview`` prints the
+ready-to-apply unified-diff patch next to each REG001/LRU004 violation
+that carries one.
 """
 
 from __future__ import annotations
@@ -21,6 +23,8 @@ from repro.analysis.lint import lint_paths_report  # noqa: E402
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    fix_preview = "--fix-preview" in argv
+    argv = [arg for arg in argv if arg != "--fix-preview"]
     paths = [Path(p) for p in argv] or [_REPO_ROOT / "src" / "repro"]
     for path in paths:
         if not path.exists():
@@ -29,6 +33,8 @@ def main(argv: list[str] | None = None) -> int:
     report = lint_paths_report(list(paths))
     for violation in report.violations:
         print(violation)
+        if fix_preview and violation.patch:
+            print(violation.patch.rstrip("\n"))
     for suppressed in report.suppressed:
         print(suppressed)
     if report.violations:
