@@ -26,6 +26,12 @@ The comment names one rule and **must** carry a justification; a bare
 line it sits on, or — when the comment stands alone — to the next line.
 Suppressions are not silent: every one that fires is recorded in the
 :class:`LintReport` so the CI log shows what was waived and why.
+
+REG001/LRU004 violations additionally carry a ready-to-apply
+unified-diff patch (``repro lint --fix-preview``). Each patch is a
+full-file diff against the **original** source, so when one file
+carries several violations the patches overlap: apply one patch per
+file, re-lint, and take the regenerated patch for the next violation.
 """
 
 from __future__ import annotations
@@ -126,7 +132,9 @@ class LintViolation:
     # Ready-to-apply unified diff fixing the violation, when the rule
     # knows the exact repair (REG001: wrap in `with <lock>:`; LRU004:
     # declare the missing lock beside the cache). ``repro lint
-    # --fix-preview`` and ``tools/lint_repro.py`` echo it.
+    # --fix-preview`` and ``tools/lint_repro.py`` echo it. Diffed
+    # against the unmodified file: apply at most one patch per file,
+    # then re-lint to regenerate the rest against the patched source.
     patch: str | None = None
 
     def __str__(self) -> str:
@@ -408,6 +416,38 @@ def _reg001_patch(
     return _unified_patch(source_lines, new_lines, path)
 
 
+def _import_insert_index(source_lines: list[str]) -> int:
+    """0-based index where ``import threading`` can legally go.
+
+    Joining the first existing import is preferred; failing that, the
+    slot just below the module docstring and any ``from __future__``
+    imports — inserting above either would demote the docstring or
+    raise ``SyntaxError: from __future__ imports must occur at the
+    beginning of the file``.
+    """
+    try:
+        body = ast.parse("\n".join(source_lines)).body
+    except SyntaxError:
+        body = []
+    index = 0
+    for position, node in enumerate(body):
+        docstring = (
+            position == 0
+            and isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        )
+        if docstring or (
+            isinstance(node, ast.ImportFrom) and node.module == "__future__"
+        ):
+            index = getattr(node, "end_lineno", node.lineno)
+            continue
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            return node.lineno - 1
+        break
+    return index
+
+
 def _lru004_patch(
     source_lines: list[str], scope: "_Scope", cache: str, path: str
 ) -> str | None:
@@ -426,15 +466,9 @@ def _lru004_patch(
         for line in source_lines
     )
     if not has_import:
-        insert_at = next(
-            (
-                index
-                for index, line in enumerate(source_lines)
-                if re.match(r"(import |from )", line)
-            ),
-            0,
+        new_lines.insert(
+            _import_insert_index(source_lines), "import threading"
         )
-        new_lines.insert(insert_at, "import threading")
     return _unified_patch(source_lines, new_lines, path)
 
 

@@ -106,7 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--fix-preview",
         action="store_true",
         help="print the ready-to-apply unified-diff patch next to each "
-        "REG001/LRU004 violation that has one",
+        "REG001/LRU004 violation that has one (patches are diffed "
+        "against the original file: apply one per file, then re-lint "
+        "to regenerate the rest)",
     )
 
     fleet = sub.add_parser(

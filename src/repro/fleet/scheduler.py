@@ -13,7 +13,10 @@ State transitions are single atomic ``os.rename``/``os.replace`` calls,
 so a ``kill -9`` at any instant leaves the campaign in a state
 :meth:`FleetScheduler.resume` can reconcile: *done* cells stay done,
 *claimed* tickets of dead workers are re-queued with one more attempt
-and an exponential backoff, *queued* tickets are untouched.
+and an exponential backoff, *queued* tickets are untouched. Temp files
+never carry a ``.json`` suffix, so the ``*.json`` scans (claims,
+steals, done counts, status) cannot observe a half-written ticket; any
+debris a crash left behind is swept on the next submit/resume.
 
 Workers are **processes**, not threads (``--jobs N``): each one builds
 its own :class:`~repro.core.study.WideLeakStudy` world and a fresh
@@ -45,6 +48,7 @@ or recovered across a crash. Two rules make this hold:
 
 from __future__ import annotations
 
+import itertools
 import json
 import multiprocessing
 import os
@@ -103,11 +107,37 @@ def _backoff(attempt: int) -> float:
     return min(1.0, 0.05 * 2 ** max(0, attempt - 1))
 
 
-def _write_json_atomic(path: Path, payload: dict) -> None:
+# Disambiguates several writes to the same target from one process
+# (controller + inline worker share a pid).
+_TMP_SEQ = itertools.count()
+
+
+def _write_text_atomic(path: Path, text: str) -> None:
+    # The temp name must NOT end in ".json": every queue/claimed/done
+    # scan globs "*.json", and a kill -9 between write and replace must
+    # leave only debris those scans (and ticket-name parsing, steal
+    # renames, done counts) never see. _sweep_tmp clears it on resume.
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.parent / f".tmp-{os.getpid()}-{path.name}"
-    tmp.write_text(json.dumps(payload, sort_keys=True))
+    tmp = path.parent / f"{path.name}.tmp-{os.getpid()}-{next(_TMP_SEQ)}"
+    tmp.write_text(text)
     os.replace(tmp, path)
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    _write_text_atomic(path, json.dumps(payload, sort_keys=True))
+
+
+def _sweep_tmp(campaign_dir: Path) -> None:
+    """Delete temp-file debris a kill -9 mid-write left behind.
+
+    Runs while the controller is the only process touching the
+    campaign (before workers spawn). Both the current naming scheme
+    (``<name>.tmp-<pid>-<n>``) and the dot-prefixed one of earlier
+    revisions (``.tmp-<pid>-<name>``) are swept.
+    """
+    for pattern in ("*.tmp-*", ".tmp-*"):
+        for stale in campaign_dir.rglob(pattern):
+            stale.unlink(missing_ok=True)
 
 
 def _read_json(path: Path) -> dict | None:
@@ -387,6 +417,7 @@ class FleetScheduler:
         campaign_dir = self.campaign_dir(campaign)
         for sub in ("queue", "claimed", "done"):
             (campaign_dir / sub).mkdir(parents=True, exist_ok=True)
+        _sweep_tmp(campaign_dir)
         _write_json_atomic(
             campaign_dir / "campaign.json", campaign.to_manifest()
         )
@@ -798,7 +829,7 @@ class FleetScheduler:
                     payload["artifact"]
                 )
 
-        (campaign_dir / "result.json").write_text(result.to_json())
+        _write_text_atomic(campaign_dir / "result.json", result.to_json())
         if attacks:
             _write_json_atomic(
                 campaign_dir / "attacks.json",

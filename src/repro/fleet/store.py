@@ -15,10 +15,15 @@ Durability model
   last-replace-wins is harmless.
 - **Objects are ground truth.** The ``manifest.json`` index (sizes +
   LRU sequence numbers) is a cache of the objects directory, rewritten
-  atomically read-modify-write under a process lock. After a crash —
-  or concurrent writers clobbering each other's manifest updates — the
-  manifest is reconciled against the directory scan on the next open,
-  so a stale index can never lose stored results.
+  atomically read-modify-write under a thread lock *and* an
+  inter-process ``flock`` on ``manifest.lock`` — the scheduler runs N
+  worker processes against one store root, and without the file lock
+  concurrent rewrites would silently drop each other's hit/seq
+  updates and evict against stale totals. After a crash the manifest
+  is still reconciled against the directory scan on the next open, so
+  a stale index can never lose stored results (and on platforms
+  without ``fcntl`` the store degrades to exactly that: best-effort
+  counters, objects intact).
 - **LRU bound.** With ``max_bytes`` set, inserts evict the
   least-recently-used objects (lowest sequence number; ``get`` bumps
   recency) until the store fits. Eviction only ever costs recompute,
@@ -31,11 +36,18 @@ import itertools
 import json
 import os
 import threading
+from contextlib import contextmanager
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: counters/bound become best-effort
+    fcntl = None
 
 __all__ = ["ResultStore"]
 
 _MANIFEST = "manifest.json"
+_MANIFEST_LOCK = "manifest.lock"
 _OBJECTS = "objects"
 
 # Unique-per-write temp suffixes: the counter disambiguates writers in
@@ -52,8 +64,27 @@ class ResultStore:
         self.max_bytes = max_bytes
         self._lock = threading.Lock()
         (self.root / _OBJECTS).mkdir(parents=True, exist_ok=True)
-        with self._lock:
+        with self._locked():
             self._reconcile_locked()
+
+    @contextmanager
+    def _locked(self):
+        """Serialise manifest read-modify-write across threads *and*
+        processes: a thread lock for this instance, then an exclusive
+        ``flock`` on a sidecar lock file (never on ``manifest.json``
+        itself — ``os.replace`` swaps that inode on every save). Other
+        instances in the same process hold different fds, so the flock
+        excludes them too."""
+        with self._lock:
+            if fcntl is None:
+                yield
+                return
+            with open(self.root / _MANIFEST_LOCK, "ab") as lock_file:
+                fcntl.flock(lock_file, fcntl.LOCK_EX)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(lock_file, fcntl.LOCK_UN)
 
     # -- paths -------------------------------------------------------------
 
@@ -138,7 +169,7 @@ class ResultStore:
     def put(self, key: str, payload: dict) -> None:
         """Persist one cell result under its cache key, atomically."""
         blob = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
-        with self._lock:
+        with self._locked():
             self._write_atomic(self._object_path(key), blob)
             manifest = self._load_manifest_locked()
             manifest["entries"][key] = {
@@ -156,13 +187,13 @@ class ResultStore:
         try:
             payload = json.loads(path.read_text())
         except (FileNotFoundError, json.JSONDecodeError):
-            with self._lock:
+            with self._locked():
                 manifest = self._load_manifest_locked()
                 manifest["misses"] += 1
                 manifest["entries"].pop(key, None)
                 self._save_manifest_locked(manifest)
             return None
-        with self._lock:
+        with self._locked():
             manifest = self._load_manifest_locked()
             manifest["hits"] += 1
             entry = manifest["entries"].setdefault(
@@ -177,7 +208,7 @@ class ResultStore:
         return self._object_path(key).is_file()
 
     def delete(self, key: str) -> bool:
-        with self._lock:
+        with self._locked():
             manifest = self._load_manifest_locked()
             existed = manifest["entries"].pop(key, None) is not None
             try:
@@ -189,12 +220,12 @@ class ResultStore:
         return existed
 
     def keys(self) -> tuple[str, ...]:
-        with self._lock:
+        with self._locked():
             manifest = self._reconcile_locked()
         return tuple(sorted(manifest["entries"]))
 
     def stats(self) -> dict[str, int]:
-        with self._lock:
+        with self._locked():
             manifest = self._reconcile_locked()
         entries = manifest["entries"]
         return {
@@ -211,7 +242,7 @@ class ResultStore:
         bound = max_bytes if max_bytes is not None else self.max_bytes
         if bound is None:
             return 0
-        with self._lock:
+        with self._locked():
             manifest = self._reconcile_locked()
             evicted = self._evict_locked(manifest, bound)
             if evicted:

@@ -1,4 +1,11 @@
-"""Seeded LRU004 violation: hand-rolled LRU cache with no lock."""
+"""Seeded LRU004 violation: hand-rolled LRU cache with no lock.
+
+The ``__future__`` import is part of the fixture: the autofix must
+insert ``import threading`` *below* it (and the docstring), or the
+patched module would not even parse.
+"""
+
+from __future__ import annotations
 
 from collections import OrderedDict
 

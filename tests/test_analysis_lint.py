@@ -248,6 +248,44 @@ class TestAutofixPatches:
         fixed = apply_unified_patch(source, violation.patch)
         assert lint_source(fixed, path=path) == []
 
+    def test_lru004_patch_inserts_import_below_docstring_and_future(self):
+        """Every module in this repo opens with a docstring and a
+        ``from __future__ import annotations``; ``import threading``
+        landing above either would be a SyntaxError (or demote the
+        docstring)."""
+        source = (
+            '"""Module docstring."""\n'
+            "from __future__ import annotations\n"
+            "\n"
+            "from collections import OrderedDict\n"
+            "\n"
+            "class C:\n"
+            "    def boot(self):\n"
+            "        self._cache = OrderedDict()\n"
+        )
+        violation = lint_source(source)[0]
+        assert violation.rule == "LRU004"
+        fixed = apply_unified_patch(source, violation.patch)
+        compile(fixed, "<fixed>", "exec")  # patched module must parse
+        lines = fixed.splitlines()
+        assert lines.index("import threading") > lines.index(
+            "from __future__ import annotations"
+        )
+        assert lint_source(fixed) == []
+
+    def test_lru004_patch_joins_existing_imports_after_future_import(self):
+        source = (
+            "from __future__ import annotations\n"
+            "from collections import OrderedDict\n"
+            "_cache = OrderedDict()\n"
+        )
+        violation = lint_source(source)[0]
+        assert violation.rule == "LRU004"
+        fixed = apply_unified_patch(source, violation.patch)
+        compile(fixed, "<fixed>", "exec")
+        assert fixed.splitlines()[1] == "import threading"
+        assert lint_source(fixed) == []
+
     def test_lru004_patch_skips_the_import_when_already_present(self):
         source = (
             "import threading\n"

@@ -166,6 +166,26 @@ class TestResultStore:
         assert errors == []
         assert set(ResultStore(tmp_path).get(key)) == {"worker", "i", "pad"}
 
+    def test_concurrent_manifest_updates_lose_no_entries(self, tmp_path):
+        """Distinct keys written through two store instances (the
+        worker-process shape: each holds its own manifest lock fd) must
+        all land in manifest.json without waiting for a reconcile —
+        last-replace-wins on the index would silently drop some."""
+        stores = [ResultStore(tmp_path), ResultStore(tmp_path)]
+
+        def writer(worker: int) -> None:
+            for i in range(20):
+                key = f"{worker:02d}{i:02d}".ljust(64, "0")
+                stores[worker].put(key, {"worker": worker, "i": i})
+
+        threads = [threading.Thread(target=writer, args=(n,)) for n in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert len(manifest["entries"]) == 40
+
 
 # ---------------------------------------------------------------------------
 # Scheduler: cold / warm / invalidation
@@ -301,6 +321,49 @@ class TestCrashRecovery:
         # And the checkpoint now reads complete.
         status = {row["campaign_id"]: row for row in scheduler.status()}
         assert status[campaign_id]["state"] == "complete"
+
+    def test_temp_file_debris_never_reaches_json_scans(self, tmp_path):
+        """A kill -9 between temp write and os.replace leaves a temp
+        file behind. It must not end in ``.json`` (every queue/claimed/
+        done scan globs that — pathlib's glob matches dot-prefixed
+        names too), and resume must sweep it rather than crash parsing
+        its name as a ticket or cell id."""
+        scheduler = FleetScheduler(tmp_path)
+        campaign = Campaign(profiles=SMALL)
+        scheduler.submit(campaign)
+        campaign_dir = scheduler.campaign_dir(campaign)
+        debris = [
+            # Current naming: "<name>.tmp-<pid>-<n>" — no .json suffix.
+            campaign_dir / "queue" / "w0" / "0007-audit-x.json.tmp-99-0",
+            # Dot-prefixed naming of earlier revisions DID match
+            # glob("*.json"); planted in every scanned directory, the
+            # old reconcile died on int("tmp") / cell_by_id("tmp...").
+            campaign_dir / "queue" / "w0" / ".tmp-99-0007-audit-x.json",
+            campaign_dir / "claimed" / "w0" / ".tmp-99-audit-x.json",
+            campaign_dir / "done" / ".tmp-99-world.json",
+        ]
+        for path in debris:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text("{half-written")
+        outcome = scheduler.resume(campaign.campaign_id)
+        assert outcome.result.to_json() == sequential_json(SMALL)
+        assert outcome.stats["computed"] == 0  # debris is not work
+        for path in debris:
+            assert not path.exists(), f"{path.name} survived the sweep"
+
+    def test_atomic_write_temp_names_are_invisible_to_json_globs(
+        self, tmp_path
+    ):
+        from repro.fleet.scheduler import _write_json_atomic
+
+        target = tmp_path / "lane" / "0001-cell.json"
+        _write_json_atomic(target, {"ok": True})
+        # The replace happened; had it been interrupted, the temp name
+        # must not have matched the ticket scans.
+        assert [p.name for p in target.parent.glob("*.json")] == [target.name]
+        tmp_name = f"{target.name}.tmp-1234-0"
+        (target.parent / tmp_name).write_text("{half")
+        assert [p.name for p in target.parent.glob("*.json")] == [target.name]
 
     def test_resume_without_id_requires_an_interrupted_campaign(self, tmp_path):
         scheduler = FleetScheduler(tmp_path)

@@ -7,7 +7,9 @@ Defaults to ``src/repro`` relative to the repository root. Exits 0 when
 clean, 1 when any violation is found (this is what the CI lint job
 gates on), 2 on usage errors. ``--fix-preview`` prints the
 ready-to-apply unified-diff patch next to each REG001/LRU004 violation
-that carries one.
+that carries one. Patches are diffed against the original file, so a
+file with several violations needs them applied one at a time with a
+re-lint (regenerating the remaining patches) in between.
 """
 
 from __future__ import annotations
